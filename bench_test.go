@@ -1,0 +1,394 @@
+package histwalk_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§6), each regenerating the experiment at bench scale and
+// reporting its headline numbers as custom metrics, plus the ablation
+// benches for the design choices DESIGN.md calls out and per-step
+// micro-benchmarks of every walker.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The reported metrics use the convention <series>_<measure>; lower is
+// better for every error/divergence metric.
+
+import (
+	"math/rand"
+	"testing"
+
+	"histwalk"
+	"histwalk/internal/stats"
+)
+
+// benchConfig is the shared bench-scale configuration.
+func benchConfig() histwalk.PaperConfig {
+	cfg := histwalk.QuickConfig()
+	return cfg
+}
+
+// BenchmarkTable1DatasetStats regenerates Table 1 (dataset summary
+// statistics) over the six datasets.
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t := histwalk.Table1(cfg)
+		if len(t.Rows) != 6 {
+			b.Fatalf("table1 rows = %d", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkFigure6GooglePlusRelerr regenerates Figure 6: average-degree
+// estimation error vs query cost on the Google Plus stand-in for MHRW,
+// SRW, NB-SRW, CNRW and GNRW. Reported metrics are the relative errors
+// at the largest budget (1000 unique queries).
+func BenchmarkFigure6GooglePlusRelerr(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := histwalk.Figure6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFinals(b, fig, "relerr", "MHRW", "SRW", "NB-SRW", "CNRW", "GNRW(By-Degree)")
+	}
+}
+
+// BenchmarkFigure7FacebookDistances regenerates Figures 7a–7c: KL
+// divergence, ℓ2 distance and estimation error vs query cost on the
+// Facebook stand-in. Reported metrics are the values at the largest
+// budget (140 transitions).
+func BenchmarkFigure7FacebookDistances(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := histwalk.Figure7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFinals(b, res.KL, "kl", "SRW", "CNRW", "GNRW(By-Degree)")
+		reportFinals(b, res.Err, "relerr", "SRW", "CNRW")
+	}
+}
+
+// BenchmarkFigure7dYoutubeEstimation regenerates Figure 7d: estimation
+// error vs query cost on the YouTube stand-in for SRW, CNRW and GNRW.
+func BenchmarkFigure7dYoutubeEstimation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		fig, err := histwalk.Figure7d(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFinals(b, fig, "relerr", "SRW", "CNRW", "GNRW(By-Degree)")
+	}
+}
+
+// BenchmarkFigure8StationaryDistribution regenerates Figure 8: the
+// aggregated visit distributions of SRW, CNRW and GNRW against the
+// theoretical π. Reported metrics are each algorithm's ℓ2 deviation
+// from the theoretical distribution — Figure 8's claim is that all
+// three coincide with it.
+func BenchmarkFigure8StationaryDistribution(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		for _, which := range []int{1, 2} {
+			fig, err := histwalk.Figure8(cfg, which)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, name := range []string{"SRW", "CNRW", "GNRW(By-Degree)"} {
+				d, err := histwalk.StationaryDeviation(fig, name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(d, sanitize("fb"+itoa(which)+"_"+name+"_l2dev"))
+			}
+		}
+	}
+}
+
+// BenchmarkFigure9YelpGrouping regenerates Figures 9a/9b: GNRW grouping
+// strategies vs SRW on the Yelp stand-in, estimating average degree and
+// average reviews count. Reported metrics are the errors at the largest
+// budget.
+func BenchmarkFigure9YelpGrouping(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		figA, figB, err := histwalk.Figure9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFinalsPrefixed(b, figA, "deg", "SRW", "GNRW(By-Degree)", "GNRW(By-MD5)", "GNRW(By-reviews_count)")
+		reportFinalsPrefixed(b, figB, "rev", "SRW", "GNRW(By-Degree)", "GNRW(By-MD5)", "GNRW(By-reviews_count)")
+	}
+}
+
+// BenchmarkFigure10ClusteredGraph regenerates Figures 10a–10c on the
+// paper's clustered graph (plus the unique-cost supplementary variant).
+func BenchmarkFigure10ClusteredGraph(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := histwalk.Figure10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFinals(b, res.KL, "kl", "SRW", "CNRW")
+		resU, err := histwalk.Figure10Unique(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFinals(b, resU.Err, "uerr", "SRW", "CNRW", "GNRW(By-Degree)")
+	}
+}
+
+// BenchmarkFigure11BarbellSizes regenerates Figures 11a–11c: bias
+// measures across barbell sizes 20–56. Reported metrics are the KL at
+// the smallest and largest sizes for SRW and CNRW (the paper's claim is
+// the growth with size and CNRW ≤ SRW at small sizes).
+func BenchmarkFigure11BarbellSizes(b *testing.B) {
+	cfg := benchConfig()
+	cfg.DistanceTrials = 300
+	for i := 0; i < b.N; i++ {
+		res, err := histwalk.Figure11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range []string{"SRW", "CNRW"} {
+			s := res.KL.SeriesByName(name)
+			if s == nil || len(s.Y) == 0 {
+				b.Fatal("missing series")
+			}
+			b.ReportMetric(s.Y[0], sanitize(name+"_kl_n20"))
+			b.ReportMetric(s.Y[len(s.Y)-1], sanitize(name+"_kl_n56"))
+		}
+	}
+}
+
+// BenchmarkTheorem3BarbellEscape regenerates the Theorem 3 validation:
+// the escape-probability ratio against its theoretical lower bound.
+func BenchmarkTheorem3BarbellEscape(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := histwalk.Theorem3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ratio, "ratio")
+		b.ReportMetric(res.Bound, "bound")
+		if res.Ratio <= res.Bound {
+			b.Logf("warning: measured ratio %.3f below bound %.3f at bench scale", res.Ratio, res.Bound)
+		}
+	}
+}
+
+// BenchmarkAblationEdgeVsNodeCirculation compares the paper's
+// edge-based recurrence (§3.2) against the node-based alternative and
+// plain SRW, measuring the trial-to-trial standard deviation of a
+// clique-occupancy estimator on a barbell graph — the asymptotic
+// variance proxy of Theorem 2.
+func BenchmarkAblationEdgeVsNodeCirculation(b *testing.B) {
+	const k = 10
+	g := histwalk.Barbell(k)
+	steps := 120 * k * k
+	trials := 40
+	run := func(f histwalk.Factory, seedBase int64) float64 {
+		var w stats.Welford
+		for t := 0; t < trials; t++ {
+			rng := rand.New(rand.NewSource(seedBase + int64(t)))
+			sim := histwalk.NewSimulator(g)
+			wk := f.New(sim, 0, rng)
+			inG2 := 0
+			for s := 0; s < steps; s++ {
+				v, err := wk.Step()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if int(v) >= k {
+					inG2++
+				}
+			}
+			w.Add(float64(inG2) / float64(steps))
+		}
+		return w.StdDev()
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(run(histwalk.SRWFactory(), 100), "SRW_sd")
+		b.ReportMetric(run(histwalk.CNRWFactory(), 100), "CNRW_edge_sd")
+		b.ReportMetric(run(histwalk.CNRWNodeFactory(), 100), "CNRW_node_sd")
+		b.ReportMetric(run(histwalk.NBCNRWFactory(), 100), "NBCNRW_sd")
+	}
+}
+
+// BenchmarkAblationNBCNRW compares NB-CNRW (§5) with NB-SRW and CNRW on
+// the Google Plus stand-in estimation task.
+func BenchmarkAblationNBCNRW(b *testing.B) {
+	cfg := benchConfig()
+	g := histwalk.GooglePlusN(cfg.GPlusNodes, cfg.Seed)
+	for i := 0; i < b.N; i++ {
+		fig, err := histwalk.EstimationFigure(histwalk.EstimationConfig{
+			ID: "ablation-nbcnrw", Title: "NB-CNRW ablation", Graph: g, Attr: "degree",
+			Factories: []histwalk.Factory{
+				histwalk.NBSRWFactory(),
+				histwalk.CNRWFactory(),
+				histwalk.NBCNRWFactory(),
+			},
+			Budgets: []int{500, 1000},
+			Trials:  cfg.EstimationTrials,
+			Seed:    cfg.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFinals(b, fig, "relerr", "NB-SRW", "CNRW", "NB-CNRW")
+	}
+}
+
+// BenchmarkAblationGroupCount sweeps GNRW's stratum count m on the Yelp
+// reviews aggregate (m=1 degenerates to CNRW).
+func BenchmarkAblationGroupCount(b *testing.B) {
+	cfg := benchConfig()
+	g := histwalk.YelpN(cfg.YelpNodes, cfg.Seed)
+	for i := 0; i < b.N; i++ {
+		var factories []histwalk.Factory
+		for _, m := range []int{1, 3, 5, 8} {
+			f := histwalk.GNRWFactory(histwalk.AttrGrouper{Attr: histwalk.AttrReviews, M: m})
+			f.Name = f.Name + "-m" + itoa(m)
+			factories = append(factories, f)
+		}
+		fig, err := histwalk.EstimationFigure(histwalk.EstimationConfig{
+			ID: "ablation-groups", Title: "GNRW group count", Graph: g, Attr: histwalk.AttrReviews,
+			Factories: factories,
+			Budgets:   []int{1000},
+			Trials:    cfg.EstimationTrials,
+			Seed:      cfg.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range factories {
+			v, ok := fig.FinalValue(f.Name)
+			if !ok {
+				b.Fatal("missing series")
+			}
+			b.ReportMetric(v, sanitize(f.Name+"_relerr"))
+		}
+	}
+}
+
+// --- per-step micro-benchmarks ---
+
+func benchWalkerSteps(b *testing.B, mk func(c histwalk.Client, s histwalk.Node, r *rand.Rand) histwalk.Walker) {
+	g := histwalk.GooglePlusN(2000, 1)
+	rng := rand.New(rand.NewSource(1))
+	sim := histwalk.NewSimulator(g)
+	w := mk(sim, 0, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepSRW measures SRW's per-transition cost.
+func BenchmarkStepSRW(b *testing.B) {
+	benchWalkerSteps(b, func(c histwalk.Client, s histwalk.Node, r *rand.Rand) histwalk.Walker {
+		return histwalk.NewSRW(c, s, r)
+	})
+}
+
+// BenchmarkStepMHRW measures MHRW's per-transition cost.
+func BenchmarkStepMHRW(b *testing.B) {
+	benchWalkerSteps(b, func(c histwalk.Client, s histwalk.Node, r *rand.Rand) histwalk.Walker {
+		return histwalk.NewMHRW(c, s, r)
+	})
+}
+
+// BenchmarkStepNBSRW measures NB-SRW's per-transition cost.
+func BenchmarkStepNBSRW(b *testing.B) {
+	benchWalkerSteps(b, func(c histwalk.Client, s histwalk.Node, r *rand.Rand) histwalk.Walker {
+		return histwalk.NewNBSRW(c, s, r)
+	})
+}
+
+// BenchmarkStepCNRW measures CNRW's per-transition cost including the
+// per-edge history bookkeeping (§3.3's O(1) amortized claim).
+func BenchmarkStepCNRW(b *testing.B) {
+	benchWalkerSteps(b, func(c histwalk.Client, s histwalk.Node, r *rand.Rand) histwalk.Walker {
+		return histwalk.NewCNRW(c, s, r)
+	})
+}
+
+// BenchmarkStepGNRW measures GNRW's per-transition cost including
+// stratification (§4.2).
+func BenchmarkStepGNRW(b *testing.B) {
+	benchWalkerSteps(b, func(c histwalk.Client, s histwalk.Node, r *rand.Rand) histwalk.Walker {
+		return histwalk.NewGNRW(c, histwalk.DegreeGrouper{M: 5}, s, r)
+	})
+}
+
+// BenchmarkGraphBuild measures dataset construction throughput.
+func BenchmarkGraphBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := histwalk.GooglePlusN(4000, int64(i))
+		if g.NumNodes() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// --- helpers ---
+
+func reportFinals(b *testing.B, fig *histwalk.Figure, measure string, series ...string) {
+	b.Helper()
+	for _, name := range series {
+		v, ok := fig.FinalValue(name)
+		if !ok {
+			b.Fatalf("series %q missing from %s", name, fig.ID)
+		}
+		b.ReportMetric(v, sanitize(name+"_"+measure))
+	}
+}
+
+func reportFinalsPrefixed(b *testing.B, fig *histwalk.Figure, prefix string, series ...string) {
+	b.Helper()
+	for _, name := range series {
+		v, ok := fig.FinalValue(name)
+		if !ok {
+			b.Fatalf("series %q missing from %s", name, fig.ID)
+		}
+		b.ReportMetric(v, sanitize(prefix+"_"+name))
+	}
+}
+
+// sanitize makes a series name safe for the benchmark metric grammar
+// (no spaces or parentheses).
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '(', ')', ' ':
+			// drop
+		case '-':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

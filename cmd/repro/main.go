@@ -1,0 +1,254 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section (§6) as text tables, using the synthetic dataset
+// stand-ins described in DESIGN.md, plus the supplementary validations
+// (Theorems 2 and 3) and ablations (circulation keying, GNRW stratum
+// count, frontier sampling).
+//
+// Usage:
+//
+//	repro [-quick] [-seed N] [-csv DIR]
+//	      [-only table1,fig6,fig7,fig7d,fig8,fig9,fig10,fig10u,fig11,thm2,thm3,ablations]
+//
+// With -quick the bench-scale configuration is used (seconds per
+// figure); the default is the full configuration recorded in
+// EXPERIMENTS.md (minutes in total). With -csv every figure and table
+// is additionally written as a CSV file into DIR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"histwalk/internal/experiment"
+)
+
+var csvDir string
+
+func main() {
+	quick := flag.Bool("quick", false, "use the quick (bench-scale) configuration")
+	seed := flag.Int64("seed", 1, "master seed for all experiments")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	flag.StringVar(&csvDir, "csv", "", "also write each figure/table as CSV into this directory")
+	flag.Parse()
+
+	cfg := experiment.FullConfig()
+	if *quick {
+		cfg = experiment.QuickConfig()
+	}
+	cfg.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	run := func(id string) bool { return len(want) == 0 || want[id] }
+
+	fmt.Printf("# histwalk reproduction (%s configuration, seed %d)\n\n",
+		mode(*quick), cfg.Seed)
+	start := time.Now()
+
+	if run("table1") {
+		step("table1", func() error { return emitTable(experiment.Table1(cfg)) })
+	}
+	if run("fig6") {
+		step("fig6", func() error {
+			fig, err := experiment.Figure6(cfg)
+			if err != nil {
+				return err
+			}
+			return emitFig(fig)
+		})
+	}
+	if run("fig7") {
+		step("fig7", func() error {
+			res, err := experiment.Figure7(cfg)
+			if err != nil {
+				return err
+			}
+			return emitDistance(res)
+		})
+	}
+	if run("fig7d") {
+		step("fig7d", func() error {
+			fig, err := experiment.Figure7d(cfg)
+			if err != nil {
+				return err
+			}
+			return emitFig(fig)
+		})
+	}
+	if run("fig8") {
+		step("fig8", func() error {
+			for _, which := range []int{1, 2} {
+				fig, err := experiment.Figure8(cfg, which)
+				if err != nil {
+					return err
+				}
+				// The per-node table is large: print the summary
+				// deviations the figure is read for, CSV the full data.
+				fmt.Printf("## %s — %s\n", fig.ID, fig.Title)
+				for _, s := range fig.Series[1:] {
+					d, err := experiment.StationaryDeviation(fig, s.Name)
+					if err != nil {
+						return err
+					}
+					fmt.Printf("l2 deviation from theoretical %-18s %.5f\n", s.Name, d)
+				}
+				if csvDir != "" {
+					if _, err := fig.SaveCSV(csvDir); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+	}
+	if run("fig9") {
+		step("fig9", func() error {
+			a, b, err := experiment.Figure9(cfg)
+			if err != nil {
+				return err
+			}
+			if err := emitFig(a); err != nil {
+				return err
+			}
+			return emitFig(b)
+		})
+	}
+	if run("fig10") {
+		step("fig10", func() error {
+			res, err := experiment.Figure10(cfg)
+			if err != nil {
+				return err
+			}
+			return emitDistance(res)
+		})
+	}
+	if run("fig10u") {
+		step("fig10u", func() error {
+			res, err := experiment.Figure10Unique(cfg)
+			if err != nil {
+				return err
+			}
+			return emitDistance(res)
+		})
+	}
+	if run("fig11") {
+		step("fig11", func() error {
+			res, err := experiment.Figure11(cfg)
+			if err != nil {
+				return err
+			}
+			return emitDistance(res)
+		})
+	}
+	if run("thm2") {
+		step("thm2", func() error {
+			steps := 300000
+			if *quick {
+				steps = 120000
+			}
+			tb, err := experiment.Theorem2Table(experiment.Theorem2Config{
+				Steps: steps, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			return emitTable(tb)
+		})
+	}
+	if run("thm3") {
+		step("thm3", func() error {
+			res, err := experiment.Theorem3(cfg)
+			if err != nil {
+				return err
+			}
+			return emitTable(experiment.EscapeTable(res))
+		})
+	}
+	if run("ablations") {
+		step("ablations", func() error {
+			trials := 80
+			if *quick {
+				trials = 30
+			}
+			tb, err := experiment.AblationCirculationTable(experiment.AblationCirculationConfig{
+				CliqueSize: 10, Trials: trials, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			if err := emitTable(tb); err != nil {
+				return err
+			}
+			gc, err := experiment.AblationGroupCountFigure(cfg)
+			if err != nil {
+				return err
+			}
+			if err := emitFig(gc); err != nil {
+				return err
+			}
+			fr, err := experiment.AblationFrontierFigure(cfg)
+			if err != nil {
+				return err
+			}
+			return emitFig(fr)
+		})
+	}
+
+	fmt.Printf("\n# done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func mode(quick bool) string {
+	if quick {
+		return "quick"
+	}
+	return "full"
+}
+
+func emitFig(fig *experiment.Figure) error {
+	if err := fig.Render(os.Stdout); err != nil {
+		return err
+	}
+	if csvDir != "" {
+		if _, err := fig.SaveCSV(csvDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func emitTable(t *experiment.Table) error {
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if csvDir != "" {
+		if _, err := t.SaveCSV(csvDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func emitDistance(res *experiment.DistanceResult) error {
+	for _, fig := range []*experiment.Figure{res.KL, res.L2, res.Err} {
+		if err := emitFig(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func step(id string, fn func() error) {
+	t0 := time.Now()
+	if err := fn(); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %s failed: %v\n", id, err)
+		os.Exit(1)
+	}
+	fmt.Printf("(%s finished in %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+}

@@ -1,0 +1,88 @@
+package histwalk_test
+
+// Godoc examples for the public API. Each example is deterministic, so
+// go test verifies its output.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"histwalk"
+)
+
+// ExampleNewCNRW shows the core sampling loop: walk under a
+// unique-query budget and estimate the average degree. On a complete
+// graph every node has the same degree, so the estimate is exact.
+func ExampleNewCNRW() {
+	g := histwalk.Complete(10) // every node has degree 9
+	sim := histwalk.NewSimulator(g)
+	w := histwalk.NewCNRW(sim, 0, rand.New(rand.NewSource(1)))
+	est := histwalk.NewAvgDegree(histwalk.DegreeProportional)
+	for sim.QueryCost() < 10 {
+		v, err := w.Step()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if err := est.Add(g.Degree(v)); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	avg, _ := est.Estimate()
+	fmt.Printf("avg degree = %.0f\n", avg)
+	// Output: avg degree = 9
+}
+
+// ExampleGraph_Summarize computes the Table 1 statistics of the paper's
+// clustered synthetic graph; the numbers match the paper's row exactly.
+func ExampleGraph_Summarize() {
+	g := histwalk.ClusteredCliques([]int{10, 30, 50})
+	s := g.Summarize()
+	fmt.Printf("nodes=%d edges=%d triangles=%d\n", s.Nodes, s.Edges, s.Triangles)
+	// Output: nodes=90 edges=1707 triangles=23780
+}
+
+// ExampleSimulator_QueryCost demonstrates the paper's §2.3 cost metric:
+// repeated queries are served from the crawler's cache for free.
+func ExampleSimulator_QueryCost() {
+	g := histwalk.Complete(5)
+	sim := histwalk.NewSimulator(g)
+	sim.Neighbors(0)
+	sim.Neighbors(0) // cache hit
+	sim.Neighbors(1)
+	fmt.Printf("unique=%d total=%d\n", sim.QueryCost(), sim.TotalRequests())
+	// Output: unique=2 total=3
+}
+
+// ExampleExactStationary verifies Eq. (3): the simple random walk's
+// stationary probability of a node is its degree over 2|E|. On a star
+// graph the center holds exactly half the mass.
+func ExampleExactStationary() {
+	g := histwalk.Star(5) // center degree 4, leaves degree 1
+	pi, err := histwalk.ExactStationary(histwalk.SRWMatrix(g))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("pi(center)=%.3f pi(leaf)=%.3f\n", pi[0], pi[1])
+	// Output: pi(center)=0.500 pi(leaf)=0.125
+}
+
+// ExampleNewConditionalMean estimates a conditional aggregate of the
+// kind that motivates the paper ("the average friend count of all users
+// living in Texas"): here, the mean value over even-numbered nodes
+// only, from an exactly degree-proportional sample stream.
+func ExampleNewConditionalMean() {
+	c := histwalk.NewConditionalMean(histwalk.DegreeProportional)
+	// Samples (value, degree, predicate): nodes with value 10 and 30
+	// match; reweighting by 1/degree undoes the frequency bias.
+	c.Add(10, 1, true)
+	c.Add(30, 3, true)
+	c.Add(30, 3, true)
+	c.Add(30, 3, true)
+	c.Add(99, 2, false)
+	avg, _ := c.Estimate()
+	fmt.Printf("conditional mean = %.0f\n", avg)
+	// Output: conditional mean = 20
+}

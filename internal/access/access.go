@@ -1,0 +1,274 @@
+// Package access simulates the restrictive web/API interface of an
+// online social network, exactly as modeled in §2.1 of the paper:
+//
+//   - the only topology query available takes a user (node) ID and
+//     returns the set of all its neighbors, plus the node's attributes;
+//   - the dominant cost is the number of *unique* queries issued, since
+//     any duplicate query "can be immediately retrieved from local cache
+//     without consuming the query rate limit" (§2.3);
+//   - real OSNs enforce query-rate limits (e.g. Twitter's 15 calls per
+//     15 minutes), which a token-bucket RateLimiter can simulate.
+//
+// Walkers talk only to a Client, never to the underlying graph, so the
+// query-cost accounting in experiments is exact and the walkers would
+// work unchanged over a real transport.
+package access
+
+import (
+	"errors"
+	"fmt"
+
+	"histwalk/internal/graph"
+)
+
+// ErrUnknownNode is returned when a query names a node outside the
+// network.
+var ErrUnknownNode = errors.New("access: unknown node")
+
+// ErrBudgetExhausted is returned by budget-limited clients once the
+// unique-query budget has been spent.
+var ErrBudgetExhausted = errors.New("access: query budget exhausted")
+
+// ErrNotInSummary is returned by the Summary* methods when the requested
+// neighbor relation does not hold (w is not a neighbor of owner, or
+// owner has not been queried yet), so no free summary data is available.
+var ErrNotInSummary = errors.New("access: node not present in a cached neighbor-list summary")
+
+// Client is the neighborhood-query interface available to a third party
+// (§2.1). Implementations must treat repeated queries for the same node
+// as cache hits that do not increase QueryCost.
+type Client interface {
+	// Neighbors returns the neighbor list of u. The slice must not be
+	// modified by the caller.
+	Neighbors(u graph.Node) ([]graph.Node, error)
+	// Degree returns k_u = |N(u)|. It costs the same query as Neighbors
+	// (the full neighbor list comes back in one response).
+	Degree(u graph.Node) (int, error)
+	// Attribute returns u's value of a named profile attribute. Profile
+	// attributes ride along with the neighborhood response (§2.1), so
+	// this issues the same single query as Neighbors.
+	Attribute(u graph.Node, name string) (float64, error)
+	// SummaryAttr returns the value of w's attribute as shown in the
+	// *neighbor-list summary* of owner's neighborhood response. Real OSN
+	// list endpoints (Twitter followers/list, Google+ circles) return
+	// rich user objects for each listed neighbor, so this information is
+	// free: it does not consume query budget. It is only available when
+	// owner has already been queried and w is one of owner's neighbors;
+	// otherwise ErrNotInSummary is returned. GNRW's grouping strategies
+	// rely on exactly this data (§4.1).
+	SummaryAttr(owner, w graph.Node, name string) (float64, error)
+	// SummaryDegree returns w's degree (follower/friend count) from
+	// owner's neighbor-list summary, under the same free-of-charge
+	// conditions as SummaryAttr. MHRW's acceptance test uses it.
+	SummaryDegree(owner, w graph.Node) (int, error)
+	// QueryCost returns the number of unique queries issued so far.
+	QueryCost() int
+}
+
+// Simulator is an in-memory Client backed by a graph.Graph. It caches
+// responses (a bitset of queried nodes) and counts unique queries.
+// Simulator is not safe for concurrent use; experiments give each trial
+// its own instance.
+type Simulator struct {
+	g       *graph.Graph
+	queried []bool
+	unique  int
+	total   int
+	limiter *RateLimiter
+}
+
+// NewSimulator returns a Simulator over g with no rate limit.
+func NewSimulator(g *graph.Graph) *Simulator {
+	return &Simulator{g: g, queried: make([]bool, g.NumNodes())}
+}
+
+// SetRateLimiter installs a rate limiter applied to unique queries
+// (cache hits are free, as in a real crawler). Pass nil to remove.
+func (s *Simulator) SetRateLimiter(rl *RateLimiter) { s.limiter = rl }
+
+// Graph exposes the backing graph for ground-truth computations.
+// Samplers must not use it; it exists for estimator validation only.
+func (s *Simulator) Graph() *graph.Graph { return s.g }
+
+// touch registers a query against u, counting it only if new.
+func (s *Simulator) touch(u graph.Node) error {
+	if u < 0 || int(u) >= s.g.NumNodes() {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, u)
+	}
+	s.total++
+	if !s.queried[u] {
+		if s.limiter != nil {
+			s.limiter.Take()
+		}
+		s.queried[u] = true
+		s.unique++
+	}
+	return nil
+}
+
+// Neighbors implements Client.
+func (s *Simulator) Neighbors(u graph.Node) ([]graph.Node, error) {
+	if err := s.touch(u); err != nil {
+		return nil, err
+	}
+	return s.g.Neighbors(u), nil
+}
+
+// Degree implements Client.
+func (s *Simulator) Degree(u graph.Node) (int, error) {
+	if err := s.touch(u); err != nil {
+		return 0, err
+	}
+	return s.g.Degree(u), nil
+}
+
+// Attribute implements Client. Unknown attribute names are an error.
+func (s *Simulator) Attribute(u graph.Node, name string) (float64, error) {
+	if err := s.touch(u); err != nil {
+		return 0, err
+	}
+	x, ok := s.g.AttrValue(name, u)
+	if !ok {
+		return 0, fmt.Errorf("access: unknown attribute %q", name)
+	}
+	return x, nil
+}
+
+// summaryCheck validates that owner has been queried and w is a
+// neighbor of owner, the precondition for free summary data.
+func (s *Simulator) summaryCheck(owner, w graph.Node) error {
+	if owner < 0 || int(owner) >= s.g.NumNodes() {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, owner)
+	}
+	if !s.queried[owner] {
+		return fmt.Errorf("%w: owner %d not queried", ErrNotInSummary, owner)
+	}
+	if !s.g.HasEdge(owner, w) {
+		return fmt.Errorf("%w: %d is not a neighbor of %d", ErrNotInSummary, w, owner)
+	}
+	return nil
+}
+
+// SummaryAttr implements Client: w's attribute from owner's neighbor
+// list summary, free of query cost.
+func (s *Simulator) SummaryAttr(owner, w graph.Node, name string) (float64, error) {
+	if err := s.summaryCheck(owner, w); err != nil {
+		return 0, err
+	}
+	x, ok := s.g.AttrValue(name, w)
+	if !ok {
+		return 0, fmt.Errorf("access: unknown attribute %q", name)
+	}
+	return x, nil
+}
+
+// SummaryDegree implements Client: w's degree from owner's neighbor list
+// summary, free of query cost.
+func (s *Simulator) SummaryDegree(owner, w graph.Node) (int, error) {
+	if err := s.summaryCheck(owner, w); err != nil {
+		return 0, err
+	}
+	return s.g.Degree(w), nil
+}
+
+// QueryCost implements Client: the number of unique queries so far.
+func (s *Simulator) QueryCost() int { return s.unique }
+
+// IsCached reports whether u has been queried before (a further query
+// for u is free).
+func (s *Simulator) IsCached(u graph.Node) bool {
+	return u >= 0 && int(u) < len(s.queried) && s.queried[u]
+}
+
+// TotalRequests returns all requests including cache hits, for measuring
+// cache effectiveness.
+func (s *Simulator) TotalRequests() int { return s.total }
+
+// Reset clears the cache and counters (the graph is retained).
+func (s *Simulator) Reset() {
+	for i := range s.queried {
+		s.queried[i] = false
+	}
+	s.unique, s.total = 0, 0
+}
+
+// CacheAware is implemented by clients that can report whether a node is
+// already in the local cache (so re-querying it is free).
+type CacheAware interface {
+	IsCached(u graph.Node) bool
+}
+
+// Budgeted wraps a Client and fails queries for *new* nodes once the
+// unique-query budget is exhausted. Cached nodes remain accessible, as a
+// real crawler's local cache would. If the inner client does not
+// implement CacheAware, all queries are refused once the budget is
+// spent.
+type Budgeted struct {
+	inner  Client
+	budget int
+}
+
+// NewBudgeted wraps inner with a unique-query budget.
+func NewBudgeted(inner Client, budget int) *Budgeted {
+	return &Budgeted{inner: inner, budget: budget}
+}
+
+// guard returns ErrBudgetExhausted if issuing a query for u would exceed
+// the budget.
+func (b *Budgeted) guard(u graph.Node) error {
+	if b.inner.QueryCost() < b.budget {
+		return nil
+	}
+	if ca, ok := b.inner.(CacheAware); ok && ca.IsCached(u) {
+		return nil // free cache hit
+	}
+	return ErrBudgetExhausted
+}
+
+// Neighbors implements Client.
+func (b *Budgeted) Neighbors(u graph.Node) ([]graph.Node, error) {
+	if err := b.guard(u); err != nil {
+		return nil, err
+	}
+	return b.inner.Neighbors(u)
+}
+
+// Degree implements Client.
+func (b *Budgeted) Degree(u graph.Node) (int, error) {
+	if err := b.guard(u); err != nil {
+		return 0, err
+	}
+	return b.inner.Degree(u)
+}
+
+// Attribute implements Client.
+func (b *Budgeted) Attribute(u graph.Node, name string) (float64, error) {
+	if err := b.guard(u); err != nil {
+		return 0, err
+	}
+	return b.inner.Attribute(u, name)
+}
+
+// SummaryAttr implements Client. Summaries are free, so no budget check.
+func (b *Budgeted) SummaryAttr(owner, w graph.Node, name string) (float64, error) {
+	return b.inner.SummaryAttr(owner, w, name)
+}
+
+// SummaryDegree implements Client. Summaries are free, so no budget
+// check.
+func (b *Budgeted) SummaryDegree(owner, w graph.Node) (int, error) {
+	return b.inner.SummaryDegree(owner, w)
+}
+
+// QueryCost implements Client.
+func (b *Budgeted) QueryCost() int { return b.inner.QueryCost() }
+
+// Remaining returns how many unique queries are left in the budget
+// (never negative).
+func (b *Budgeted) Remaining() int {
+	r := b.budget - b.inner.QueryCost()
+	if r < 0 {
+		return 0
+	}
+	return r
+}

@@ -1,0 +1,230 @@
+package access
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"histwalk/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.Complete(5)
+	if err := g.SetAttr("age", []float64{10, 20, 30, 40, 50}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSimulatorUniqueQueryAccounting(t *testing.T) {
+	sim := NewSimulator(testGraph(t))
+	if sim.QueryCost() != 0 {
+		t.Fatal("fresh simulator has nonzero cost")
+	}
+	if _, err := sim.Neighbors(0); err != nil {
+		t.Fatal(err)
+	}
+	if sim.QueryCost() != 1 {
+		t.Fatalf("cost = %d, want 1", sim.QueryCost())
+	}
+	// duplicate queries are free (§2.3)
+	for i := 0; i < 10; i++ {
+		if _, err := sim.Neighbors(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sim.QueryCost() != 1 {
+		t.Fatalf("cost after duplicates = %d, want 1", sim.QueryCost())
+	}
+	if sim.TotalRequests() != 11 {
+		t.Fatalf("total requests = %d, want 11", sim.TotalRequests())
+	}
+	// Degree and Attribute hit the same per-node cache
+	if _, err := sim.Degree(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Attribute(1, "age"); err != nil {
+		t.Fatal(err)
+	}
+	if sim.QueryCost() != 2 {
+		t.Fatalf("cost = %d, want 2", sim.QueryCost())
+	}
+	if !sim.IsCached(0) || !sim.IsCached(1) || sim.IsCached(2) {
+		t.Fatal("IsCached wrong")
+	}
+}
+
+func TestSimulatorResponses(t *testing.T) {
+	sim := NewSimulator(testGraph(t))
+	ns, err := sim.Neighbors(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 4 {
+		t.Fatalf("K5 neighbors = %v", ns)
+	}
+	d, err := sim.Degree(2)
+	if err != nil || d != 4 {
+		t.Fatalf("Degree = %d, %v", d, err)
+	}
+	a, err := sim.Attribute(2, "age")
+	if err != nil || a != 30 {
+		t.Fatalf("Attribute = %v, %v", a, err)
+	}
+	if _, err := sim.Attribute(2, "nope"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestSimulatorUnknownNode(t *testing.T) {
+	sim := NewSimulator(testGraph(t))
+	if _, err := sim.Neighbors(99); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+	if _, err := sim.Neighbors(-1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestSummaryRequiresQueriedOwnerAndNeighborship(t *testing.T) {
+	sim := NewSimulator(testGraph(t))
+	// owner not yet queried → no summary
+	if _, err := sim.SummaryAttr(0, 1, "age"); !errors.Is(err, ErrNotInSummary) {
+		t.Fatalf("err = %v, want ErrNotInSummary", err)
+	}
+	if _, err := sim.Neighbors(0); err != nil {
+		t.Fatal(err)
+	}
+	// now summaries of 0's neighbors are free
+	before := sim.QueryCost()
+	a, err := sim.SummaryAttr(0, 1, "age")
+	if err != nil || a != 20 {
+		t.Fatalf("SummaryAttr = %v, %v", a, err)
+	}
+	d, err := sim.SummaryDegree(0, 4)
+	if err != nil || d != 4 {
+		t.Fatalf("SummaryDegree = %v, %v", d, err)
+	}
+	if sim.QueryCost() != before {
+		t.Fatal("summary reads must be free")
+	}
+	// non-neighbor is not in the summary
+	g2 := graph.Path(3) // 0-1-2; 0 and 2 not adjacent
+	sim2 := NewSimulator(g2)
+	if _, err := sim2.Neighbors(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim2.SummaryDegree(0, 2); !errors.Is(err, ErrNotInSummary) {
+		t.Fatalf("err = %v, want ErrNotInSummary", err)
+	}
+}
+
+func TestSimulatorReset(t *testing.T) {
+	sim := NewSimulator(testGraph(t))
+	if _, err := sim.Neighbors(3); err != nil {
+		t.Fatal(err)
+	}
+	sim.Reset()
+	if sim.QueryCost() != 0 || sim.TotalRequests() != 0 || sim.IsCached(3) {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestBudgetedBlocksNewNodes(t *testing.T) {
+	sim := NewSimulator(testGraph(t))
+	b := NewBudgeted(sim, 2)
+	if _, err := b.Neighbors(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Neighbors(1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", b.Remaining())
+	}
+	// cached node still accessible
+	if _, err := b.Neighbors(0); err != nil {
+		t.Fatalf("cached query blocked: %v", err)
+	}
+	// new node blocked
+	if _, err := b.Neighbors(2); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if _, err := b.Degree(3); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if _, err := b.Attribute(4, "age"); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	// summaries remain free even at zero budget
+	if _, err := b.SummaryAttr(0, 1, "age"); err != nil {
+		t.Fatalf("summary blocked: %v", err)
+	}
+	if _, err := b.SummaryDegree(0, 1); err != nil {
+		t.Fatalf("summary degree blocked: %v", err)
+	}
+	if b.QueryCost() != 2 {
+		t.Fatalf("QueryCost = %d", b.QueryCost())
+	}
+}
+
+func TestRateLimiterVirtualClock(t *testing.T) {
+	rl := NewRateLimiter(3, time.Minute)
+	for i := 0; i < 3; i++ {
+		rl.Take()
+	}
+	if rl.VirtualElapsed() != 0 {
+		t.Fatalf("elapsed = %v before window exhausted", rl.VirtualElapsed())
+	}
+	rl.Take() // 4th call rolls into the next window
+	if rl.VirtualElapsed() != time.Minute {
+		t.Fatalf("elapsed = %v, want 1m", rl.VirtualElapsed())
+	}
+	for i := 0; i < 2; i++ {
+		rl.Take()
+	}
+	rl.Take() // 7th call → second rollover
+	if rl.VirtualElapsed() != 2*time.Minute {
+		t.Fatalf("elapsed = %v, want 2m", rl.VirtualElapsed())
+	}
+	rl.Reset()
+	if rl.VirtualElapsed() != 0 {
+		t.Fatal("Reset did not clear elapsed")
+	}
+}
+
+func TestTwitterDefaultShape(t *testing.T) {
+	rl := TwitterDefault()
+	for i := 0; i < 15; i++ {
+		rl.Take()
+	}
+	if rl.VirtualElapsed() != 0 {
+		t.Fatal("first 15 calls should be free")
+	}
+	rl.Take()
+	if rl.VirtualElapsed() != 15*time.Minute {
+		t.Fatalf("elapsed = %v, want 15m", rl.VirtualElapsed())
+	}
+}
+
+func TestSimulatorWithRateLimiter(t *testing.T) {
+	sim := NewSimulator(testGraph(t))
+	rl := NewRateLimiter(1, time.Second)
+	sim.SetRateLimiter(rl)
+	_, _ = sim.Neighbors(0)
+	_, _ = sim.Neighbors(1)
+	_, _ = sim.Neighbors(1) // cache hit: no token
+	if rl.VirtualElapsed() != time.Second {
+		t.Fatalf("elapsed = %v, want 1s (2 unique queries, 1 rollover)", rl.VirtualElapsed())
+	}
+}
+
+func TestNewRateLimiterClampsCalls(t *testing.T) {
+	rl := NewRateLimiter(0, time.Second)
+	rl.Take()
+	rl.Take()
+	if rl.VirtualElapsed() != time.Second {
+		t.Fatalf("elapsed = %v; calls should clamp to 1", rl.VirtualElapsed())
+	}
+}

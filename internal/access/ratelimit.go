@@ -1,0 +1,54 @@
+package access
+
+// RateLimiter simulates an OSN query-rate limit such as Twitter's
+// "15 calls every 15 minutes" (§2.1). It is a token bucket over a
+// *virtual* clock: instead of sleeping, Take records how long a real
+// crawler would have had to wait, so experiments can report wall-clock
+// crawl time without actually waiting.
+import "time"
+
+// RateLimiter models "calls" tokens refilling every "window". The zero
+// value is unusable; construct with NewRateLimiter.
+type RateLimiter struct {
+	calls  int
+	window time.Duration
+
+	used    int
+	elapsed time.Duration // virtual time consumed by waiting
+}
+
+// NewRateLimiter returns a limiter allowing calls queries per window.
+// calls < 1 is treated as 1.
+func NewRateLimiter(calls int, window time.Duration) *RateLimiter {
+	if calls < 1 {
+		calls = 1
+	}
+	return &RateLimiter{calls: calls, window: window}
+}
+
+// TwitterDefault mirrors the paper's Twitter example: 15 local
+// neighborhood queries every 15 minutes.
+func TwitterDefault() *RateLimiter {
+	return NewRateLimiter(15, 15*time.Minute)
+}
+
+// Take consumes one token, advancing the virtual clock by a full window
+// whenever the current window's allowance is spent.
+func (rl *RateLimiter) Take() {
+	if rl.used == rl.calls {
+		rl.elapsed += rl.window
+		rl.used = 0
+	}
+	rl.used++
+}
+
+// VirtualElapsed returns the total virtual waiting time accumulated so
+// far — the wall-clock time a real crawler would have spent blocked on
+// the rate limit.
+func (rl *RateLimiter) VirtualElapsed() time.Duration { return rl.elapsed }
+
+// Reset clears the limiter state.
+func (rl *RateLimiter) Reset() {
+	rl.used = 0
+	rl.elapsed = 0
+}

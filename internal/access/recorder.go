@@ -1,0 +1,115 @@
+package access
+
+import "histwalk/internal/graph"
+
+// QueryKind labels one recorded client call.
+type QueryKind int
+
+const (
+	// KindNeighbors is a Neighbors call.
+	KindNeighbors QueryKind = iota
+	// KindDegree is a Degree call.
+	KindDegree
+	// KindAttribute is an Attribute call.
+	KindAttribute
+)
+
+// String implements fmt.Stringer.
+func (k QueryKind) String() string {
+	switch k {
+	case KindNeighbors:
+		return "neighbors"
+	case KindDegree:
+		return "degree"
+	case KindAttribute:
+		return "attribute"
+	default:
+		return "unknown"
+	}
+}
+
+// QueryRecord is one paid-interface call observed by a Recorder.
+type QueryRecord struct {
+	// Kind is the call type.
+	Kind QueryKind
+	// Node is the queried node.
+	Node graph.Node
+	// Attr is the attribute name for KindAttribute calls.
+	Attr string
+	// CostBefore and CostAfter are the unique-query counter around the
+	// call; CostAfter > CostBefore marks a cache miss (a paid query).
+	CostBefore, CostAfter int
+}
+
+// Paid reports whether the call consumed query budget.
+func (r QueryRecord) Paid() bool { return r.CostAfter > r.CostBefore }
+
+// Recorder wraps a Client and logs every paid-interface call, letting
+// tests and crawl audits replay exactly what a sampler asked the
+// network. Summary reads are free and are not recorded.
+type Recorder struct {
+	inner Client
+	log   []QueryRecord
+}
+
+// NewRecorder wraps inner.
+func NewRecorder(inner Client) *Recorder { return &Recorder{inner: inner} }
+
+// Log returns the recorded calls (aliases internal storage).
+func (r *Recorder) Log() []QueryRecord { return r.log }
+
+// PaidQueries returns how many recorded calls were cache misses.
+func (r *Recorder) PaidQueries() int {
+	n := 0
+	for _, rec := range r.log {
+		if rec.Paid() {
+			n++
+		}
+	}
+	return n
+}
+
+// Neighbors implements Client.
+func (r *Recorder) Neighbors(u graph.Node) ([]graph.Node, error) {
+	before := r.inner.QueryCost()
+	ns, err := r.inner.Neighbors(u)
+	r.log = append(r.log, QueryRecord{Kind: KindNeighbors, Node: u, CostBefore: before, CostAfter: r.inner.QueryCost()})
+	return ns, err
+}
+
+// Degree implements Client.
+func (r *Recorder) Degree(u graph.Node) (int, error) {
+	before := r.inner.QueryCost()
+	d, err := r.inner.Degree(u)
+	r.log = append(r.log, QueryRecord{Kind: KindDegree, Node: u, CostBefore: before, CostAfter: r.inner.QueryCost()})
+	return d, err
+}
+
+// Attribute implements Client.
+func (r *Recorder) Attribute(u graph.Node, name string) (float64, error) {
+	before := r.inner.QueryCost()
+	x, err := r.inner.Attribute(u, name)
+	r.log = append(r.log, QueryRecord{Kind: KindAttribute, Node: u, Attr: name, CostBefore: before, CostAfter: r.inner.QueryCost()})
+	return x, err
+}
+
+// SummaryAttr implements Client (not recorded: summaries are free).
+func (r *Recorder) SummaryAttr(owner, w graph.Node, name string) (float64, error) {
+	return r.inner.SummaryAttr(owner, w, name)
+}
+
+// SummaryDegree implements Client (not recorded: summaries are free).
+func (r *Recorder) SummaryDegree(owner, w graph.Node) (int, error) {
+	return r.inner.SummaryDegree(owner, w)
+}
+
+// QueryCost implements Client.
+func (r *Recorder) QueryCost() int { return r.inner.QueryCost() }
+
+// IsCached forwards cache visibility when the inner client provides it.
+func (r *Recorder) IsCached(u graph.Node) bool {
+	if ca, ok := r.inner.(CacheAware); ok {
+		return ca.IsCached(u)
+	}
+	return false
+}

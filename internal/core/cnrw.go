@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math/rand"
+
+	"histwalk/internal/access"
+	"histwalk/internal/graph"
+)
+
+// circulation tracks sampling-without-replacement over one neighbor list:
+// the set b(u,v) of Algorithm 1. The invariant maintained by pick is
+// 0 <= len(used) < k, i.e. the set is always a proper subset of N(v); it
+// is cleared the moment the last neighbor is consumed, starting a fresh
+// circulation.
+type circulation struct {
+	used map[graph.Node]struct{}
+}
+
+// pick draws uniformly at random from ns minus the used set, records the
+// draw, and resets the set when the circulation completes. ns must be
+// non-empty.
+func (c *circulation) pick(rng *rand.Rand, ns []graph.Node) graph.Node {
+	remaining := len(ns) - len(c.used)
+	// Defensive: if external state made used cover ns (cannot happen via
+	// pick), restart the circulation rather than spin.
+	if remaining <= 0 {
+		c.used = nil
+		remaining = len(ns)
+	}
+	idx := rng.Intn(remaining)
+	var chosen graph.Node = -1
+	for _, w := range ns {
+		if _, skip := c.used[w]; skip {
+			continue
+		}
+		if idx == 0 {
+			chosen = w
+			break
+		}
+		idx--
+	}
+	if c.used == nil {
+		c.used = make(map[graph.Node]struct{}, len(ns))
+	}
+	c.used[chosen] = struct{}{}
+	if len(c.used) == len(ns) {
+		c.used = nil // full circulation completed; reset b(u,v) to ∅
+	}
+	return chosen
+}
+
+// usedCount returns |b(u,v)| (0 after a reset).
+func (c *circulation) usedCount() int { return len(c.used) }
+
+// CNRW is the Circulated Neighbors Random Walk (Algorithm 1): a
+// history-aware, higher-order Markov chain. Given the previous
+// transition u→v, the next node is drawn uniformly *without replacement*
+// from N(v): successors already chosen after a previous traversal of the
+// directed edge u→v are excluded until every neighbor of v has been
+// chosen once, at which point the memory b(u,v) resets. Theorem 1 shows
+// CNRW keeps SRW's stationary distribution π(v)=k_v/2|E|; Theorem 2
+// shows its asymptotic variance never exceeds SRW's.
+//
+// The first transition out of the start node (which has no incoming
+// edge) is a plain SRW step.
+type CNRW struct {
+	client  access.Client
+	rng     *rand.Rand
+	prev    graph.Node // -1 before the first transition
+	cur     graph.Node
+	steps   int
+	history map[edgeKey]*circulation
+}
+
+// NewCNRW returns a circulated-neighbors walk starting at start.
+func NewCNRW(c access.Client, start graph.Node, rng *rand.Rand) *CNRW {
+	return &CNRW{
+		client:  c,
+		rng:     rng,
+		prev:    -1,
+		cur:     start,
+		history: make(map[edgeKey]*circulation),
+	}
+}
+
+// Name implements Walker.
+func (w *CNRW) Name() string { return "CNRW" }
+
+// Current implements Walker.
+func (w *CNRW) Current() graph.Node { return w.cur }
+
+// Steps implements Walker.
+func (w *CNRW) Steps() int { return w.steps }
+
+// HistorySize returns the number of directed edges with live circulation
+// state, exposing the O(K) space bound of §3.3 to tests and benches.
+func (w *CNRW) HistorySize() int { return len(w.history) }
+
+// CirculationState reports the fill level |b(u,v)| of the directed edge
+// u→v and whether x is currently in b(u,v). It exists so experiments can
+// verify the per-fill-level escape hazards of Theorem 3; samplers do not
+// need it.
+func (w *CNRW) CirculationState(u, v, x graph.Node) (fill int, contains bool) {
+	c := w.history[packEdge(u, v)]
+	if c == nil {
+		return 0, false
+	}
+	_, contains = c.used[x]
+	return c.usedCount(), contains
+}
+
+// historyFor returns the circulation bound to the directed edge
+// prev→cur, creating it on first traversal.
+func (w *CNRW) historyFor(u, v graph.Node) *circulation {
+	k := packEdge(u, v)
+	c := w.history[k]
+	if c == nil {
+		c = &circulation{}
+		w.history[k] = c
+	}
+	return c
+}
+
+// Step implements Walker.
+func (w *CNRW) Step() (graph.Node, error) {
+	ns, err := w.client.Neighbors(w.cur)
+	if err != nil {
+		return w.cur, err
+	}
+	if len(ns) == 0 {
+		return w.cur, errDeadEnd(w.cur)
+	}
+	var next graph.Node
+	if w.prev < 0 {
+		next = uniformPick(w.rng, ns)
+	} else {
+		next = w.historyFor(w.prev, w.cur).pick(w.rng, ns)
+	}
+	w.prev = w.cur
+	w.cur = next
+	w.steps++
+	return w.cur, nil
+}
+
+// CNRWFactory returns the Factory for CNRW.
+func CNRWFactory() Factory {
+	return Factory{Name: "CNRW", New: func(c access.Client, s graph.Node, r *rand.Rand) Walker {
+		return NewCNRW(c, s, r)
+	}}
+}
+
+// CNRWNode is the node-based circulation variant that §3.2 argues
+// against: the without-replacement memory is keyed by the current node v
+// alone, ignoring the incoming edge. It shares SRW's stationary
+// distribution but its path blocks (separated by node recurrences) are
+// shorter, giving a weaker variance reduction — it exists here for the
+// edge-vs-node ablation bench.
+type CNRWNode struct {
+	client  access.Client
+	rng     *rand.Rand
+	cur     graph.Node
+	steps   int
+	history map[graph.Node]*circulation
+}
+
+// NewCNRWNode returns a node-keyed circulated walk starting at start.
+func NewCNRWNode(c access.Client, start graph.Node, rng *rand.Rand) *CNRWNode {
+	return &CNRWNode{
+		client:  c,
+		rng:     rng,
+		cur:     start,
+		history: make(map[graph.Node]*circulation),
+	}
+}
+
+// Name implements Walker.
+func (w *CNRWNode) Name() string { return "CNRW-node" }
+
+// Current implements Walker.
+func (w *CNRWNode) Current() graph.Node { return w.cur }
+
+// Steps implements Walker.
+func (w *CNRWNode) Steps() int { return w.steps }
+
+// Step implements Walker.
+func (w *CNRWNode) Step() (graph.Node, error) {
+	ns, err := w.client.Neighbors(w.cur)
+	if err != nil {
+		return w.cur, err
+	}
+	if len(ns) == 0 {
+		return w.cur, errDeadEnd(w.cur)
+	}
+	c := w.history[w.cur]
+	if c == nil {
+		c = &circulation{}
+		w.history[w.cur] = c
+	}
+	w.cur = c.pick(w.rng, ns)
+	w.steps++
+	return w.cur, nil
+}
+
+// CNRWNodeFactory returns the Factory for the node-based ablation
+// variant.
+func CNRWNodeFactory() Factory {
+	return Factory{Name: "CNRW-node", New: func(c access.Client, s graph.Node, r *rand.Rand) Walker {
+		return NewCNRWNode(c, s, r)
+	}}
+}
+
+// NBCNRW layers CNRW's without-replacement rule on top of NB-SRW (§5):
+// upon traversing u→v, the next node is drawn without replacement from
+// N(v)\{u} (instead of N(v)), circulating through the k_v−1
+// non-backtracking successors before the per-edge memory resets. When
+// k_v = 1 the walk must backtrack.
+type NBCNRW struct {
+	client  access.Client
+	rng     *rand.Rand
+	prev    graph.Node
+	cur     graph.Node
+	steps   int
+	history map[edgeKey]*circulation
+	scratch []graph.Node
+}
+
+// NewNBCNRW returns a non-backtracking circulated walk starting at
+// start.
+func NewNBCNRW(c access.Client, start graph.Node, rng *rand.Rand) *NBCNRW {
+	return &NBCNRW{
+		client:  c,
+		rng:     rng,
+		prev:    -1,
+		cur:     start,
+		history: make(map[edgeKey]*circulation),
+	}
+}
+
+// Name implements Walker.
+func (w *NBCNRW) Name() string { return "NB-CNRW" }
+
+// Current implements Walker.
+func (w *NBCNRW) Current() graph.Node { return w.cur }
+
+// Steps implements Walker.
+func (w *NBCNRW) Steps() int { return w.steps }
+
+// Step implements Walker.
+func (w *NBCNRW) Step() (graph.Node, error) {
+	ns, err := w.client.Neighbors(w.cur)
+	if err != nil {
+		return w.cur, err
+	}
+	if len(ns) == 0 {
+		return w.cur, errDeadEnd(w.cur)
+	}
+	var next graph.Node
+	switch {
+	case w.prev < 0:
+		next = uniformPick(w.rng, ns)
+	case len(ns) == 1:
+		next = ns[0] // forced backtrack at a degree-1 node
+	default:
+		// candidate set N(v)\{prev}
+		w.scratch = w.scratch[:0]
+		for _, u := range ns {
+			if u != w.prev {
+				w.scratch = append(w.scratch, u)
+			}
+		}
+		k := packEdge(w.prev, w.cur)
+		c := w.history[k]
+		if c == nil {
+			c = &circulation{}
+			w.history[k] = c
+		}
+		next = c.pick(w.rng, w.scratch)
+	}
+	w.prev = w.cur
+	w.cur = next
+	w.steps++
+	return w.cur, nil
+}
+
+// NBCNRWFactory returns the Factory for NB-CNRW.
+func NBCNRWFactory() Factory {
+	return Factory{Name: "NB-CNRW", New: func(c access.Client, s graph.Node, r *rand.Rand) Walker {
+		return NewNBCNRW(c, s, r)
+	}}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"histwalk/internal/access"
+	"histwalk/internal/graph"
+)
+
+// flakyClient injects a transient error on every k-th paid call,
+// simulating OSN API timeouts and 5xx responses. Summaries never fail
+// (they are local parses of already-fetched responses).
+type flakyClient struct {
+	inner access.Client
+	k     int
+	calls int
+}
+
+var errTransient = errors.New("transient API failure")
+
+func (f *flakyClient) tick() error {
+	f.calls++
+	if f.k > 0 && f.calls%f.k == 0 {
+		return errTransient
+	}
+	return nil
+}
+
+func (f *flakyClient) Neighbors(u graph.Node) ([]graph.Node, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	return f.inner.Neighbors(u)
+}
+
+func (f *flakyClient) Degree(u graph.Node) (int, error) {
+	if err := f.tick(); err != nil {
+		return 0, err
+	}
+	return f.inner.Degree(u)
+}
+
+func (f *flakyClient) Attribute(u graph.Node, name string) (float64, error) {
+	if err := f.tick(); err != nil {
+		return 0, err
+	}
+	return f.inner.Attribute(u, name)
+}
+
+func (f *flakyClient) SummaryAttr(owner, w graph.Node, name string) (float64, error) {
+	return f.inner.SummaryAttr(owner, w, name)
+}
+
+func (f *flakyClient) SummaryDegree(owner, w graph.Node) (int, error) {
+	return f.inner.SummaryDegree(owner, w)
+}
+
+func (f *flakyClient) QueryCost() int { return f.inner.QueryCost() }
+
+// Every walker must surface transient client errors without advancing,
+// and must continue correctly once the fault clears — including keeping
+// CNRW/GNRW history consistent.
+func TestWalkersSurviveTransientFaults(t *testing.T) {
+	g := graph.ClusteredCliques([]int{4, 5, 6})
+	factories := append(degreeProportionalWalkers(), MHRWFactory())
+	for _, f := range factories {
+		rng := rand.New(rand.NewSource(71))
+		sim := access.NewSimulator(g)
+		flaky := &flakyClient{inner: sim, k: 7}
+		w := f.New(flaky, 0, rng)
+		faults, progress := 0, 0
+		var lastGood graph.Node = 0
+		for s := 0; s < 2000; s++ {
+			before := w.Current()
+			v, err := w.Step()
+			if err != nil {
+				if !errors.Is(err, errTransient) {
+					t.Fatalf("%s: unexpected error: %v", f.Name, err)
+				}
+				faults++
+				if w.Current() != before {
+					t.Fatalf("%s: walker moved on a failed step", f.Name)
+				}
+				continue
+			}
+			progress++
+			lastGood = v
+		}
+		if faults == 0 {
+			t.Fatalf("%s: fault injection never fired", f.Name)
+		}
+		if progress < 1000 {
+			t.Fatalf("%s: only %d successful steps out of 2000", f.Name, progress)
+		}
+		if lastGood < 0 || int(lastGood) >= g.NumNodes() {
+			t.Fatalf("%s: invalid final node %d", f.Name, lastGood)
+		}
+	}
+}
+
+// CNRW's circulation invariant must hold across interleaved failures:
+// a failed step must not consume circulation state.
+func TestCNRWCirculationConsistentUnderFaults(t *testing.T) {
+	g := graph.Complete(5)
+	rng := rand.New(rand.NewSource(72))
+	sim := access.NewSimulator(g)
+	flaky := &flakyClient{inner: sim, k: 5}
+	w := NewCNRW(flaky, 0, rng)
+	check := newCirculationChecker(t, g)
+	var prev graph.Node = -1
+	cur := w.Current()
+	for s := 0; s < 5000; s++ {
+		next, err := w.Step()
+		if err != nil {
+			continue // failed step: no transition happened
+		}
+		if prev >= 0 {
+			check.observe(prev, cur, next, s)
+		}
+		prev, cur = cur, next
+	}
+}
+
+// Components must partition the node set (property over random graphs).
+func TestComponentsPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.ErdosRenyi(40, rng.Float64()*0.1, rng)
+		comps := g.Components()
+		seen := make(map[graph.Node]int)
+		for ci, comp := range comps {
+			for _, v := range comp {
+				if prev, dup := seen[v]; dup {
+					t.Fatalf("node %d in components %d and %d", v, prev, ci)
+				}
+				seen[v] = ci
+			}
+		}
+		if len(seen) != g.NumNodes() {
+			t.Fatalf("components cover %d of %d nodes", len(seen), g.NumNodes())
+		}
+		// edges never cross components
+		g.Edges(func(u, v graph.Node) bool {
+			if seen[u] != seen[v] {
+				t.Fatalf("edge %d-%d crosses components", u, v)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"histwalk/internal/access"
+	"histwalk/internal/graph"
+)
+
+// Frontier implements m-dimensional Frontier Sampling (Ribeiro &
+// Towsley, SIGCOMM 2010 — the paper's reference [17]): it maintains m
+// coupled walkers; at each step one walker is chosen with probability
+// proportional to its current node's degree and advanced by a plain SRW
+// transition. The sequence of visited nodes is asymptotically
+// degree-proportional (the coupled chain's stationary distribution over
+// node m-tuples weights each tuple by the sum of its degrees), so the
+// standard DegreeProportional estimator applies. Frontier sampling's
+// advantage is start-bias mitigation: m independent starting points
+// cover disconnected or bottlenecked regions a single walk would miss.
+//
+// It is included as an additional baseline from the paper's related
+// work; note it is *not* history-aware — combining it with CNRW-style
+// circulation is possible (each walker keeps its own edge memory) and
+// exposed via NewFrontierCNRW.
+type Frontier struct {
+	client access.Client
+	rng    *rand.Rand
+	// positions of the m walkers
+	walkers []graph.Node
+	// degrees of the walkers' current nodes (cached from the last
+	// neighbor query of each walker)
+	degrees []int
+	cur     graph.Node
+	steps   int
+	// optional per-walker circulation state (CNRW hybrid)
+	circulate bool
+	history   map[edgeKey]*circulation
+	prev      []graph.Node
+}
+
+// NewFrontier returns an m-walker frontier sampler whose walkers all
+// begin at the given start nodes (len(starts) = m >= 1).
+func NewFrontier(c access.Client, starts []graph.Node, rng *rand.Rand) (*Frontier, error) {
+	return newFrontier(c, starts, rng, false)
+}
+
+// NewFrontierCNRW returns a frontier sampler whose per-walker
+// transitions use CNRW's without-replacement rule (each walker keeps
+// its own incoming edge, all walkers share one per-edge memory since
+// they crawl through one cache).
+func NewFrontierCNRW(c access.Client, starts []graph.Node, rng *rand.Rand) (*Frontier, error) {
+	return newFrontier(c, starts, rng, true)
+}
+
+func newFrontier(c access.Client, starts []graph.Node, rng *rand.Rand, circulate bool) (*Frontier, error) {
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("core: frontier sampler needs >= 1 start node")
+	}
+	f := &Frontier{
+		client:    c,
+		rng:       rng,
+		walkers:   append([]graph.Node(nil), starts...),
+		degrees:   make([]int, len(starts)),
+		cur:       starts[0],
+		circulate: circulate,
+	}
+	if circulate {
+		f.history = make(map[edgeKey]*circulation)
+		f.prev = make([]graph.Node, len(starts))
+		for i := range f.prev {
+			f.prev[i] = -1
+		}
+	}
+	// Prime the degree cache: each start incurs its initial query, as a
+	// real multi-crawler bootstrap would.
+	for i, s := range starts {
+		d, err := c.Degree(s)
+		if err != nil {
+			return nil, err
+		}
+		f.degrees[i] = d
+	}
+	return f, nil
+}
+
+// Name implements Walker.
+func (f *Frontier) Name() string {
+	if f.circulate {
+		return fmt.Sprintf("Frontier-CNRW(m=%d)", len(f.walkers))
+	}
+	return fmt.Sprintf("Frontier(m=%d)", len(f.walkers))
+}
+
+// Current implements Walker: the node most recently visited by any
+// walker.
+func (f *Frontier) Current() graph.Node { return f.cur }
+
+// Steps implements Walker.
+func (f *Frontier) Steps() int { return f.steps }
+
+// Dimension returns m, the number of coupled walkers.
+func (f *Frontier) Dimension() int { return len(f.walkers) }
+
+// Positions returns a copy of the walkers' current nodes.
+func (f *Frontier) Positions() []graph.Node {
+	return append([]graph.Node(nil), f.walkers...)
+}
+
+// Step implements Walker: select a walker with probability proportional
+// to its current degree, advance it one transition, and return the node
+// it arrives at.
+func (f *Frontier) Step() (graph.Node, error) {
+	total := 0
+	for _, d := range f.degrees {
+		total += d
+	}
+	if total == 0 {
+		return f.cur, errDeadEnd(f.cur)
+	}
+	pick := f.rng.Intn(total)
+	idx := 0
+	for i, d := range f.degrees {
+		if pick < d {
+			idx = i
+			break
+		}
+		pick -= d
+	}
+	v := f.walkers[idx]
+	ns, err := f.client.Neighbors(v)
+	if err != nil {
+		return f.cur, err
+	}
+	if len(ns) == 0 {
+		return f.cur, errDeadEnd(v)
+	}
+	var next graph.Node
+	if f.circulate && f.prev[idx] >= 0 {
+		k := packEdge(f.prev[idx], v)
+		circ := f.history[k]
+		if circ == nil {
+			circ = &circulation{}
+			f.history[k] = circ
+		}
+		next = circ.pick(f.rng, ns)
+	} else {
+		next = uniformPick(f.rng, ns)
+	}
+	nd, err := f.client.Degree(next)
+	if err != nil {
+		return f.cur, err
+	}
+	if f.circulate {
+		f.prev[idx] = v
+	}
+	f.walkers[idx] = next
+	f.degrees[idx] = nd
+	f.cur = next
+	f.steps++
+	return next, nil
+}
+
+// FrontierFactory returns a Factory running m coupled walkers; the m
+// start nodes are drawn by shifting the trial's start node through the
+// RNG (the first walker uses the provided start, preserving the
+// shared-start trial protocol).
+func FrontierFactory(m int) Factory {
+	if m < 1 {
+		m = 1
+	}
+	return Factory{
+		Name: fmt.Sprintf("Frontier(m=%d)", m),
+		New: func(c access.Client, s graph.Node, r *rand.Rand) Walker {
+			starts := frontierStarts(c, s, m, r)
+			f, err := NewFrontier(c, starts, r)
+			if err != nil {
+				// A fresh simulator cannot fail here; degrade to SRW to
+				// keep the Factory signature total.
+				return NewSRW(c, s, r)
+			}
+			return f
+		},
+	}
+}
+
+// FrontierCNRWFactory is FrontierFactory with per-walker CNRW
+// circulation.
+func FrontierCNRWFactory(m int) Factory {
+	if m < 1 {
+		m = 1
+	}
+	return Factory{
+		Name: fmt.Sprintf("Frontier-CNRW(m=%d)", m),
+		New: func(c access.Client, s graph.Node, r *rand.Rand) Walker {
+			starts := frontierStarts(c, s, m, r)
+			f, err := NewFrontierCNRW(c, starts, r)
+			if err != nil {
+				return NewCNRW(c, s, r)
+			}
+			return f
+		},
+	}
+}
+
+// frontierStarts derives m start nodes: the trial's shared start plus
+// m−1 short SRW offshoots from it (a realistic bootstrap: a crawler can
+// only discover further start points by walking).
+func frontierStarts(c access.Client, s graph.Node, m int, r *rand.Rand) []graph.Node {
+	starts := make([]graph.Node, 0, m)
+	starts = append(starts, s)
+	cur := s
+	for len(starts) < m {
+		ns, err := c.Neighbors(cur)
+		if err != nil || len(ns) == 0 {
+			starts = append(starts, s)
+			continue
+		}
+		cur = ns[r.Intn(len(ns))]
+		starts = append(starts, cur)
+	}
+	return starts
+}

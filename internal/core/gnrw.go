@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math/rand"
+
+	"histwalk/internal/access"
+	"histwalk/internal/graph"
+)
+
+// gnrwEdgeState is the per-directed-edge history of GNRW: b(u,v), the
+// set of successors already chosen since the last full circulation of
+// N(v), and R(u,v), the set of strata already chosen in the current
+// group round (the paper's S(u,v)).
+type gnrwEdgeState struct {
+	used  map[graph.Node]struct{}
+	round map[int]struct{}
+}
+
+// GNRW is the GroupBy Neighbors Random Walk (Algorithm 2): a CNRW whose
+// circulation is stratified. The neighbors of v are partitioned into
+// strata by a deterministic Grouper; upon traversing u→v the walk first
+// circulates among strata — choosing, without replacement within the
+// current round, a stratum with probability proportional to its number
+// of not-yet-attempted members — and then picks uniformly without
+// replacement inside the chosen stratum.
+//
+// Interpretation note (documented in DESIGN.md): Algorithm 2 in the
+// paper leaves the interaction between the group memory S(u,v) and the
+// node memory b(u,v) underspecified when strata have unequal sizes. We
+// implement the semantics that both (a) preserves the stationary
+// distribution (every member of N(v) is chosen exactly once per full
+// circulation of k_v transitions, so the path-block argument of Theorem
+// 1/4 applies verbatim) and (b) maximizes stratum alternation: a
+// stratum leaves the rotation once its members are exhausted, and the
+// round set R resets whenever every stratum with remaining members has
+// been chosen in the current round. With equal-size strata this is
+// exactly the paper's description; with m = k_v singleton strata it
+// degenerates to CNRW, matching §4.1's "one extreme".
+type GNRW struct {
+	client  access.Client
+	grouper Grouper
+	rng     *rand.Rand
+	prev    graph.Node
+	cur     graph.Node
+	steps   int
+	history map[edgeKey]*gnrwEdgeState
+	// groupCache memoizes the stratum of each node; Grouper assignments
+	// are deterministic, so this is sound and keeps grouping O(1)
+	// amortized per step.
+	groupCache map[graph.Node]int
+	// scratch buffers reused across steps
+	remaining map[int]int
+}
+
+// NewGNRW returns a groupby-neighbors walk starting at start, using the
+// given grouping strategy.
+func NewGNRW(c access.Client, grouper Grouper, start graph.Node, rng *rand.Rand) *GNRW {
+	return &GNRW{
+		client:     c,
+		grouper:    grouper,
+		rng:        rng,
+		prev:       -1,
+		cur:        start,
+		history:    make(map[edgeKey]*gnrwEdgeState),
+		groupCache: make(map[graph.Node]int),
+		remaining:  make(map[int]int),
+	}
+}
+
+// Name implements Walker.
+func (w *GNRW) Name() string { return "GNRW(" + w.grouper.Name() + ")" }
+
+// Current implements Walker.
+func (w *GNRW) Current() graph.Node { return w.cur }
+
+// Steps implements Walker.
+func (w *GNRW) Steps() int { return w.steps }
+
+// HistorySize returns the number of directed edges with live history
+// state (the O(K) space bound of §4.2).
+func (w *GNRW) HistorySize() int { return len(w.history) }
+
+// groupOf returns the (cached) stratum of neighbor n of owner.
+func (w *GNRW) groupOf(owner, n graph.Node) (int, error) {
+	if gid, ok := w.groupCache[n]; ok {
+		return gid, nil
+	}
+	gid, err := w.grouper.GroupOf(w.client, owner, n)
+	if err != nil {
+		return 0, err
+	}
+	w.groupCache[n] = gid
+	return gid, nil
+}
+
+// Step implements Walker.
+func (w *GNRW) Step() (graph.Node, error) {
+	ns, err := w.client.Neighbors(w.cur)
+	if err != nil {
+		return w.cur, err
+	}
+	if len(ns) == 0 {
+		return w.cur, errDeadEnd(w.cur)
+	}
+	var next graph.Node
+	if w.prev < 0 {
+		next = uniformPick(w.rng, ns)
+	} else {
+		next, err = w.stratifiedPick(ns)
+		if err != nil {
+			return w.cur, err
+		}
+	}
+	w.prev = w.cur
+	w.cur = next
+	w.steps++
+	return w.cur, nil
+}
+
+// stratifiedPick performs the GNRW transition from the directed edge
+// prev→cur over the neighbor list ns of cur.
+func (w *GNRW) stratifiedPick(ns []graph.Node) (graph.Node, error) {
+	key := packEdge(w.prev, w.cur)
+	st := w.history[key]
+	if st == nil {
+		st = &gnrwEdgeState{
+			used:  make(map[graph.Node]struct{}, len(ns)),
+			round: make(map[int]struct{}),
+		}
+		w.history[key] = st
+	}
+
+	// Count not-yet-attempted members per stratum.
+	for gid := range w.remaining {
+		delete(w.remaining, gid)
+	}
+	for _, n := range ns {
+		if _, skip := st.used[n]; skip {
+			continue
+		}
+		gid, err := w.groupOf(w.cur, n)
+		if err != nil {
+			return -1, err
+		}
+		w.remaining[gid]++
+	}
+
+	// Candidate strata: active (non-exhausted) strata not yet chosen in
+	// the current round; reset the round when none remain.
+	totalCand := 0
+	for gid, cnt := range w.remaining {
+		if _, inRound := st.round[gid]; !inRound {
+			totalCand += cnt
+		}
+	}
+	if totalCand == 0 {
+		for gid := range st.round {
+			delete(st.round, gid)
+		}
+		for _, cnt := range w.remaining {
+			totalCand += cnt
+		}
+	}
+
+	// Choose a stratum with probability proportional to its remaining
+	// member count, then a uniform remaining member within it. Drawing a
+	// single index in [0,totalCand) and scanning implements both choices
+	// at once: the stratum's slot mass equals its remaining count.
+	idx := w.rng.Intn(totalCand)
+	var chosen graph.Node = -1
+	var chosenGid int
+	for _, n := range ns {
+		if _, skip := st.used[n]; skip {
+			continue
+		}
+		gid, err := w.groupOf(w.cur, n)
+		if err != nil {
+			return -1, err
+		}
+		if _, inRound := st.round[gid]; inRound {
+			continue
+		}
+		if idx == 0 {
+			chosen = n
+			chosenGid = gid
+			break
+		}
+		idx--
+	}
+	if chosen < 0 {
+		// All active strata were in the round set (handled above by the
+		// reset), so this cannot happen; guard for safety.
+		return -1, errDeadEnd(w.cur)
+	}
+
+	st.used[chosen] = struct{}{}
+	st.round[chosenGid] = struct{}{}
+	if len(st.used) == len(ns) {
+		// Full circulation of N(v): reset b(u,v) and the round.
+		for n := range st.used {
+			delete(st.used, n)
+		}
+		for gid := range st.round {
+			delete(st.round, gid)
+		}
+	}
+	return chosen, nil
+}
+
+// GNRWFactory returns a Factory for GNRW with the given grouping
+// strategy.
+func GNRWFactory(grouper Grouper) Factory {
+	return Factory{
+		Name: "GNRW(" + grouper.Name() + ")",
+		New: func(c access.Client, s graph.Node, r *rand.Rand) Walker {
+			return NewGNRW(c, grouper, s, r)
+		},
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"histwalk/internal/access"
+	"histwalk/internal/graph"
+)
+
+// Grouper is GNRW's global groupby function g(·) (§4.1): it assigns each
+// neighbor w of an already-queried node owner to a stratum. Assignments
+// must be deterministic and independent of walk history, so that every
+// traversal of the same edge sees the same partition of N(v).
+//
+// Groupers may only use information that is free at the time of the
+// transition: the neighbor's ID, or the attribute/degree data carried in
+// owner's neighbor-list summary (access.Client.SummaryAttr /
+// SummaryDegree). They must not issue paid queries.
+type Grouper interface {
+	// Name identifies the strategy, e.g. "By-Degree".
+	Name() string
+	// GroupOf returns the stratum index of neighbor w of owner, in
+	// [0, NumGroups).
+	GroupOf(c access.Client, owner, w graph.Node) (int, error)
+	// NumGroups returns the number of strata m.
+	NumGroups() int
+}
+
+// logBucket maps a non-negative value to a logarithmic stratum:
+// 0 → 0, 1 → 1, [2,4) → 2, [4,8) → 3, ... capped at m-1. Logarithmic
+// boundaries stratify the heavy-tailed quantities (degrees, review
+// counts) found on real OSNs without requiring global knowledge of the
+// value distribution — a third party can compute them from a single
+// summary value.
+func logBucket(x float64, m int) int {
+	if m <= 1 {
+		return 0
+	}
+	if x < 1 || math.IsNaN(x) {
+		return 0
+	}
+	if math.IsInf(x, 1) {
+		return m - 1
+	}
+	b := bits.Len64(uint64(x)) // 1→1, 2..3→2, 4..7→3, ...
+	if b > m-1 {
+		b = m - 1
+	}
+	return b
+}
+
+// HashGrouper implements the paper's GNRW-By-MD5 baseline: neighbors are
+// assigned to one of M groups by the MD5 digest of their node ID — i.e.
+// random group assignment, which reduces GNRW towards CNRW behaviour
+// (§4.1's "one extreme").
+type HashGrouper struct {
+	// M is the number of groups (minimum 1).
+	M int
+}
+
+// Name implements Grouper.
+func (h HashGrouper) Name() string { return "By-MD5" }
+
+// NumGroups implements Grouper.
+func (h HashGrouper) NumGroups() int {
+	if h.M < 1 {
+		return 1
+	}
+	return h.M
+}
+
+// GroupOf implements Grouper.
+func (h HashGrouper) GroupOf(_ access.Client, _, w graph.Node) (int, error) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(uint32(w)))
+	sum := md5.Sum(buf[:])
+	return int(binary.LittleEndian.Uint64(sum[:8]) % uint64(h.NumGroups())), nil
+}
+
+// DegreeGrouper implements GNRW-By-Degree: neighbors are stratified by
+// their degree (follower count), read for free from the owner's
+// neighbor-list summary, into M logarithmic buckets.
+type DegreeGrouper struct {
+	// M is the number of groups (minimum 1).
+	M int
+}
+
+// Name implements Grouper.
+func (d DegreeGrouper) Name() string { return "By-Degree" }
+
+// NumGroups implements Grouper.
+func (d DegreeGrouper) NumGroups() int {
+	if d.M < 1 {
+		return 1
+	}
+	return d.M
+}
+
+// GroupOf implements Grouper.
+func (d DegreeGrouper) GroupOf(c access.Client, owner, w graph.Node) (int, error) {
+	k, err := c.SummaryDegree(owner, w)
+	if err != nil {
+		return 0, fmt.Errorf("core: By-Degree grouping: %w", err)
+	}
+	return logBucket(float64(k), d.NumGroups()), nil
+}
+
+// AttrGrouper stratifies neighbors by a profile attribute (e.g.
+// GNRW-By-ReviewsCount with Attr = "reviews_count"), read for free from
+// the owner's neighbor-list summary, into M logarithmic buckets.
+type AttrGrouper struct {
+	// Attr names the attribute to stratify on.
+	Attr string
+	// M is the number of groups (minimum 1).
+	M int
+}
+
+// Name implements Grouper.
+func (a AttrGrouper) Name() string { return "By-" + a.Attr }
+
+// NumGroups implements Grouper.
+func (a AttrGrouper) NumGroups() int {
+	if a.M < 1 {
+		return 1
+	}
+	return a.M
+}
+
+// GroupOf implements Grouper.
+func (a AttrGrouper) GroupOf(c access.Client, owner, w graph.Node) (int, error) {
+	x, err := c.SummaryAttr(owner, w, a.Attr)
+	if err != nil {
+		return 0, fmt.Errorf("core: By-%s grouping: %w", a.Attr, err)
+	}
+	return logBucket(x, a.NumGroups()), nil
+}
+
+// WidthGrouper stratifies by fixed-width value ranges of an attribute:
+// stratum = floor(value/Width), capped at M-1 (negatives map to 0). It
+// suits uniformly distributed attributes such as age.
+type WidthGrouper struct {
+	// Attr names the attribute to stratify on.
+	Attr string
+	// Width is the bucket width (values <= 0 are treated as 1).
+	Width float64
+	// M is the number of groups (minimum 1).
+	M int
+}
+
+// Name implements Grouper.
+func (g WidthGrouper) Name() string { return "By-" + g.Attr + "-width" }
+
+// NumGroups implements Grouper.
+func (g WidthGrouper) NumGroups() int {
+	if g.M < 1 {
+		return 1
+	}
+	return g.M
+}
+
+// GroupOf implements Grouper.
+func (g WidthGrouper) GroupOf(c access.Client, owner, w graph.Node) (int, error) {
+	x, err := c.SummaryAttr(owner, w, g.Attr)
+	if err != nil {
+		return 0, fmt.Errorf("core: By-%s grouping: %w", g.Attr, err)
+	}
+	width := g.Width
+	if width <= 0 {
+		width = 1
+	}
+	b := int(math.Floor(x / width))
+	if b < 0 {
+		b = 0
+	}
+	if b > g.NumGroups()-1 {
+		b = g.NumGroups() - 1
+	}
+	return b, nil
+}

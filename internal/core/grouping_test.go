@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"histwalk/internal/access"
+	"histwalk/internal/graph"
+)
+
+func TestLogBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		x    float64
+		m    int
+		want int
+	}{
+		{0, 6, 0},
+		{0.5, 6, 0},
+		{1, 6, 1},
+		{1.9, 6, 1},
+		{2, 6, 2},
+		{3, 6, 2},
+		{4, 6, 3},
+		{7, 6, 3},
+		{8, 6, 4},
+		{15, 6, 4},
+		{16, 6, 5},
+		{1e9, 6, 5}, // capped at m-1
+		{math.Inf(1), 6, 5},
+		{math.NaN(), 6, 0},
+		{-3, 6, 0},
+		{42, 1, 0}, // single group
+	}
+	for _, c := range cases {
+		if got := logBucket(c.x, c.m); got != c.want {
+			t.Errorf("logBucket(%v, %d) = %d, want %d", c.x, c.m, got, c.want)
+		}
+	}
+}
+
+func TestHashGrouperDeterministicAndInRange(t *testing.T) {
+	h := HashGrouper{M: 5}
+	seen := make(map[int]int)
+	for v := graph.Node(0); v < 500; v++ {
+		g1, err := h.GroupOf(nil, 0, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, _ := h.GroupOf(nil, 99, v) // owner must not matter
+		if g1 != g2 {
+			t.Fatalf("hash group of %d depends on owner", v)
+		}
+		if g1 < 0 || g1 >= 5 {
+			t.Fatalf("group %d out of range", g1)
+		}
+		seen[g1]++
+	}
+	// MD5 grouping should spread roughly evenly.
+	for gid := 0; gid < 5; gid++ {
+		if seen[gid] < 50 {
+			t.Fatalf("group %d has only %d of 500 nodes — not spread", gid, seen[gid])
+		}
+	}
+}
+
+func TestHashGrouperMinimumOneGroup(t *testing.T) {
+	h := HashGrouper{M: 0}
+	if h.NumGroups() != 1 {
+		t.Fatalf("NumGroups = %d, want clamp to 1", h.NumGroups())
+	}
+	gid, err := h.GroupOf(nil, 0, 7)
+	if err != nil || gid != 0 {
+		t.Fatalf("GroupOf = %d, %v", gid, err)
+	}
+}
+
+func groupedTestClient(t *testing.T) (*access.Simulator, *graph.Graph) {
+	t.Helper()
+	g := graph.Star(9) // center 0 degree 8, leaves degree 1
+	vals := make([]float64, 9)
+	for i := range vals {
+		vals[i] = float64(i * i) // 0,1,4,9,16,25,36,49,64
+	}
+	if err := g.SetAttr("score", vals); err != nil {
+		t.Fatal(err)
+	}
+	sim := access.NewSimulator(g)
+	if _, err := sim.Neighbors(0); err != nil { // owner must be queried for summaries
+		t.Fatal(err)
+	}
+	return sim, g
+}
+
+func TestDegreeGrouperBuckets(t *testing.T) {
+	sim, _ := groupedTestClient(t)
+	d := DegreeGrouper{M: 4}
+	// all leaves have degree 1 → bucket 1
+	gid, err := d.GroupOf(sim, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gid != 1 {
+		t.Fatalf("leaf degree bucket = %d, want 1", gid)
+	}
+	if d.Name() != "By-Degree" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+	// unqueried owner → error surfaces
+	sim2 := access.NewSimulator(graph.Star(4))
+	if _, err := d.GroupOf(sim2, 0, 1); err == nil {
+		t.Fatal("grouping through unqueried owner should fail")
+	}
+}
+
+func TestAttrGrouperBuckets(t *testing.T) {
+	sim, _ := groupedTestClient(t)
+	a := AttrGrouper{Attr: "score", M: 6}
+	// neighbor 5 has score 25 → bits.Len(25)=5 → bucket 5 (capped)
+	gid, err := a.GroupOf(sim, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gid != 5 {
+		t.Fatalf("score-25 bucket = %d, want 5", gid)
+	}
+	// neighbor 1 has score 1 → bucket 1
+	gid, err = a.GroupOf(sim, 0, 1)
+	if err != nil || gid != 1 {
+		t.Fatalf("score-1 bucket = %d, %v", gid, err)
+	}
+	if a.Name() != "By-score" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	// unknown attribute errors
+	bad := AttrGrouper{Attr: "missing", M: 3}
+	if _, err := bad.GroupOf(sim, 0, 1); err == nil {
+		t.Fatal("unknown attribute grouping should fail")
+	}
+}
+
+func TestWidthGrouperBuckets(t *testing.T) {
+	sim, _ := groupedTestClient(t)
+	wg := WidthGrouper{Attr: "score", Width: 10, M: 5}
+	cases := map[graph.Node]int{
+		1: 0, // score 1 → bucket 0
+		4: 1, // score 16 → bucket 1
+		6: 3, // score 36 → bucket 3
+		8: 4, // score 64 → bucket 6 capped at 4
+	}
+	for n, want := range cases {
+		gid, err := wg.GroupOf(sim, 0, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gid != want {
+			t.Fatalf("node %d bucket = %d, want %d", n, gid, want)
+		}
+	}
+	// zero width clamps to 1
+	wz := WidthGrouper{Attr: "score", Width: 0, M: 3}
+	if gid, err := wz.GroupOf(sim, 0, 1); err != nil || gid != 1 {
+		t.Fatalf("width-0 bucket = %d, %v", gid, err)
+	}
+}
+
+// Property: every grouper returns a stratum in [0, NumGroups) for every
+// node of a random attributed graph.
+func TestGrouperRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	g := graph.ErdosRenyi(40, 0.3, rng).LargestComponent()
+	vals := make([]float64, g.NumNodes())
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	if err := g.SetAttr("score", vals); err != nil {
+		t.Fatal(err)
+	}
+	sim := access.NewSimulator(g)
+	f := func(ownerRaw, mRaw uint8) bool {
+		owner := graph.Node(int(ownerRaw) % g.NumNodes())
+		if _, err := sim.Neighbors(owner); err != nil {
+			return false
+		}
+		m := 1 + int(mRaw%8)
+		groupers := []Grouper{
+			HashGrouper{M: m},
+			DegreeGrouper{M: m},
+			AttrGrouper{Attr: "score", M: m},
+			WidthGrouper{Attr: "score", Width: 50, M: m},
+		}
+		for _, gr := range groupers {
+			if gr.NumGroups() != m {
+				return false
+			}
+			for _, n := range g.Neighbors(owner) {
+				gid, err := gr.GroupOf(sim, owner, n)
+				if err != nil || gid < 0 || gid >= m {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"histwalk/internal/access"
+	"histwalk/internal/graph"
+	"histwalk/internal/stats"
+)
+
+// visitDistribution runs a walker for steps transitions and returns the
+// empirical visit distribution (Definition 1's time proportions).
+func visitDistribution(t *testing.T, g *graph.Graph, f Factory, steps int, seed int64) []float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sim := access.NewSimulator(g)
+	w := f.New(sim, 0, rng)
+	vc := stats.NewVisitCounter(g.NumNodes())
+	for s := 0; s < steps; s++ {
+		v, err := w.Step()
+		if err != nil {
+			t.Fatalf("%s step %d: %v", f.Name, s, err)
+		}
+		vc.Visit(v)
+	}
+	return vc.Distribution()
+}
+
+// assertStationary checks that the walker's long-run visit distribution
+// matches the target within an ℓ∞ tolerance.
+func assertStationary(t *testing.T, g *graph.Graph, f Factory, target []float64, steps int, tol float64) {
+	t.Helper()
+	dist := visitDistribution(t, g, f, steps, 12345)
+	for v := range dist {
+		if d := math.Abs(dist[v] - target[v]); d > tol {
+			t.Fatalf("%s on %s: node %d visited with prob %.4f, want %.4f (±%.4f)",
+				f.Name, g.Name(), v, dist[v], target[v], tol)
+		}
+	}
+}
+
+// degreeProportionalWalkers are all samplers that share SRW's stationary
+// distribution π(v) = k_v/2|E|.
+func degreeProportionalWalkers() []Factory {
+	return []Factory{
+		SRWFactory(),
+		NBSRWFactory(),
+		CNRWFactory(),
+		CNRWNodeFactory(),
+		NBCNRWFactory(),
+		GNRWFactory(HashGrouper{M: 3}),
+		GNRWFactory(DegreeGrouper{M: 4}),
+	}
+}
+
+func stationaryTestGraphs(t *testing.T) []*graph.Graph {
+	rng := rand.New(rand.NewSource(99))
+	er := graph.ErdosRenyi(25, 0.25, rng).LargestComponent()
+	er.SetName("er25")
+	return []*graph.Graph{
+		graph.Barbell(5),
+		graph.ClusteredCliques([]int{3, 4, 5}),
+		graph.Star(8),
+		er,
+		graph.Complete(6),
+	}
+}
+
+// Theorem 1 / Theorem 4 / NB-SRW edge-uniformity: every SRW-family
+// walker converges to π(v) = k_v/2|E| on every topology.
+func TestStationaryDistributionAllWalkers(t *testing.T) {
+	for _, g := range stationaryTestGraphs(t) {
+		target := g.TheoreticalStationary()
+		for _, f := range degreeProportionalWalkers() {
+			assertStationary(t, g, f, target, 400000, 0.012)
+		}
+	}
+}
+
+// MHRW converges to the uniform distribution even on irregular graphs.
+func TestMHRWUniformStationary(t *testing.T) {
+	g := graph.Barbell(5) // irregular: bridge endpoints have higher degree
+	n := g.NumNodes()
+	target := make([]float64, n)
+	for i := range target {
+		target[i] = 1 / float64(n)
+	}
+	assertStationary(t, g, MHRWFactory(), target, 600000, 0.012)
+}
+
+func TestMHRWRejectsAndStays(t *testing.T) {
+	g := graph.Star(10) // center↔leaf: proposals from leaf to center mostly rejected? (k_leaf=1, k_center=9)
+	rng := rand.New(rand.NewSource(5))
+	sim := access.NewSimulator(g)
+	w := NewMHRW(sim, 1, rng) // start at a leaf
+	// From a leaf the only proposal is the center, accepted with 1/9.
+	stays := 0
+	for s := 0; s < 50; s++ {
+		prev := w.Current()
+		v, err := w.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == prev {
+			stays++
+		}
+	}
+	if stays == 0 {
+		t.Fatal("MHRW on a star never rejected a proposal")
+	}
+	if w.Rejections != stays {
+		t.Fatalf("Rejections = %d, stays = %d", w.Rejections, stays)
+	}
+}
+
+func TestNBSRWNeverBacktracksWhenAvoidable(t *testing.T) {
+	g := graph.Complete(6) // min degree 5: backtracking always avoidable
+	rng := rand.New(rand.NewSource(6))
+	sim := access.NewSimulator(g)
+	w := NewNBSRW(sim, 0, rng)
+	var prev graph.Node = -1
+	cur := w.Current()
+	for s := 0; s < 5000; s++ {
+		v, err := w.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && v == prev {
+			t.Fatalf("step %d: backtracked %d→%d→%d with alternatives available", s, prev, cur, v)
+		}
+		prev, cur = cur, v
+	}
+}
+
+func TestNBSRWForcedBacktrackAtDegreeOne(t *testing.T) {
+	g := graph.Path(3) // 0-1-2: ends have degree 1
+	rng := rand.New(rand.NewSource(7))
+	sim := access.NewSimulator(g)
+	w := NewNBSRW(sim, 1, rng)
+	// Walk must run forever without error; at the ends it backtracks.
+	sawEnd := false
+	for s := 0; s < 200; s++ {
+		v, err := w.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == 0 || v == 2 {
+			sawEnd = true
+		}
+	}
+	if !sawEnd {
+		t.Fatal("walk never reached a path end")
+	}
+}
+
+func TestWalkersDeterministicGivenSeed(t *testing.T) {
+	g := graph.ClusteredCliques([]int{4, 5, 6})
+	for _, f := range append(degreeProportionalWalkers(), MHRWFactory()) {
+		pathA := walkPath(t, g, f, 500, 42)
+		pathB := walkPath(t, g, f, 500, 42)
+		pathC := walkPath(t, g, f, 500, 43)
+		for i := range pathA {
+			if pathA[i] != pathB[i] {
+				t.Fatalf("%s: same seed diverged at step %d", f.Name, i)
+			}
+		}
+		same := true
+		for i := range pathA {
+			if pathA[i] != pathC[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical 500-step paths", f.Name)
+		}
+	}
+}
+
+func walkPath(t *testing.T, g *graph.Graph, f Factory, steps int, seed int64) []graph.Node {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sim := access.NewSimulator(g)
+	w := f.New(sim, 0, rng)
+	out := make([]graph.Node, steps)
+	for s := 0; s < steps; s++ {
+		v, err := w.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[s] = v
+	}
+	return out
+}
+
+func TestWalkerStepAndCurrentAccounting(t *testing.T) {
+	g := graph.Complete(4)
+	for _, f := range append(degreeProportionalWalkers(), MHRWFactory()) {
+		rng := rand.New(rand.NewSource(9))
+		sim := access.NewSimulator(g)
+		w := f.New(sim, 2, rng)
+		if w.Current() != 2 {
+			t.Fatalf("%s: Current before stepping = %d", f.Name, w.Current())
+		}
+		if w.Steps() != 0 {
+			t.Fatalf("%s: Steps before stepping = %d", f.Name, w.Steps())
+		}
+		for s := 1; s <= 20; s++ {
+			v, err := w.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != w.Current() {
+				t.Fatalf("%s: Step returned %d but Current is %d", f.Name, v, w.Current())
+			}
+			if w.Steps() != s {
+				t.Fatalf("%s: Steps = %d, want %d", f.Name, w.Steps(), s)
+			}
+		}
+	}
+}
+
+func TestWalkersErrorOnIsolatedStart(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1) // node 2 isolated
+	g := b.Build()
+	for _, f := range append(degreeProportionalWalkers(), MHRWFactory()) {
+		rng := rand.New(rand.NewSource(10))
+		sim := access.NewSimulator(g)
+		w := f.New(sim, 2, rng)
+		if _, err := w.Step(); err == nil {
+			t.Fatalf("%s: stepping from an isolated node did not fail", f.Name)
+		}
+	}
+}
+
+func TestWalkersPropagateClientErrors(t *testing.T) {
+	g := graph.Complete(4)
+	for _, f := range append(degreeProportionalWalkers(), MHRWFactory()) {
+		rng := rand.New(rand.NewSource(11))
+		sim := access.NewSimulator(g)
+		budget := access.NewBudgeted(sim, 1)
+		w := f.New(budget, 0, rng)
+		if _, err := w.Step(); err != nil {
+			t.Fatalf("%s: first step should fit the budget: %v", f.Name, err)
+		}
+		var lastErr error
+		for s := 0; s < 20; s++ {
+			if _, err := w.Step(); err != nil {
+				lastErr = err
+				break
+			}
+		}
+		if lastErr == nil {
+			t.Fatalf("%s: walker never surfaced the budget error", f.Name)
+		}
+	}
+}
+
+// Every walker name is stable — experiment output and estimator-design
+// routing key off it.
+func TestWalkerNames(t *testing.T) {
+	g := graph.Complete(3)
+	sim := access.NewSimulator(g)
+	rng := rand.New(rand.NewSource(1))
+	cases := map[string]Walker{
+		"SRW":          NewSRW(sim, 0, rng),
+		"MHRW":         NewMHRW(sim, 0, rng),
+		"NB-SRW":       NewNBSRW(sim, 0, rng),
+		"CNRW":         NewCNRW(sim, 0, rng),
+		"CNRW-node":    NewCNRWNode(sim, 0, rng),
+		"NB-CNRW":      NewNBCNRW(sim, 0, rng),
+		"GNRW(By-MD5)": NewGNRW(sim, HashGrouper{M: 2}, 0, rng),
+	}
+	for want, w := range cases {
+		if w.Name() != want {
+			t.Errorf("Name() = %q, want %q", w.Name(), want)
+		}
+	}
+	for _, f := range degreeProportionalWalkers() {
+		w := f.New(sim, 0, rng)
+		if w.Name() != f.Name {
+			t.Errorf("factory %q builds walker named %q", f.Name, w.Name())
+		}
+	}
+}

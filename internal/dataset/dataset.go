@@ -1,0 +1,370 @@
+// Package dataset builds the evaluation datasets of the paper's §6.1.
+//
+// The paper uses two public benchmark graphs (Facebook ego networks,
+// YouTube), two crawled OSNs (Google Plus, Yelp) and two synthetic
+// families (barbell, clustered cliques). The crawled/benchmark data is
+// not redistributable and this reproduction is offline, so each real
+// dataset is replaced by a seeded synthetic stand-in whose *relevant*
+// structure is preserved (see DESIGN.md §4 for the substitution
+// rationale):
+//
+//   - Facebook ego nets → planted-partition graphs with dense blocks
+//     (high clustering, small size);
+//   - Google Plus → a power-law-communities graph (heavy-tailed
+//     degrees AND high clustering), scaled to laptop size;
+//   - Yelp → a planted-partition graph with heterogeneous block
+//     densities plus a homophilous "reviews_count" attribute;
+//   - YouTube → a sparse Holme–Kim (BA + triad closure) graph.
+//
+// The barbell and clustered-cliques graphs are exact re-creations of the
+// paper's synthetic datasets (Table 1 row counts match). All generators
+// are deterministic in the seed. Real edge lists in SNAP format can
+// still be loaded through graph.ReadEdgeList and used everywhere a
+// stand-in is used.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"histwalk/internal/graph"
+)
+
+// AttrReviews is the name of the Yelp-like measure attribute
+// ("reviews count" in the paper's Figure 9).
+const AttrReviews = "reviews_count"
+
+// AttrCommunity is the name of the planted community-label attribute.
+const AttrCommunity = "community"
+
+// AttrAge is the name of the age-like attribute attached by WithAge.
+const AttrAge = "age"
+
+// FacebookEgo1 is a stand-in for the paper's first Facebook ego network
+// (Figure 8a/8c; ~350 nodes): a planted-partition graph with 7 dense
+// communities of 50 nodes. Clustering and density are in the Facebook
+// ego-net regime.
+func FacebookEgo1(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	sizes := []int{50, 50, 50, 50, 50, 50, 50}
+	g := graph.PlantedPartition(sizes, 0.42, 0.004, rng)
+	g.SetName("facebook-ego1")
+	attachDefaultAttrs(g, rng)
+	return g
+}
+
+// FacebookEgo2 is a stand-in for the paper's second Facebook ego network
+// ("1684.edges": 775 nodes, 14006 edges, avg clustering 0.47; Table 1
+// row "Facebook"): a planted-partition graph with 10 dense communities.
+func FacebookEgo2(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	sizes := make([]int, 10)
+	for i := range sizes {
+		sizes[i] = 77 // 770 nodes
+	}
+	sizes[0] = 82 // total 775, matching the paper's node count
+	g := graph.PlantedPartition(sizes, 0.45, 0.0035, rng)
+	g.SetName("facebook")
+	attachDefaultAttrs(g, rng)
+	return g
+}
+
+// GooglePlus is a stand-in for the paper's Google Plus crawl (240 276
+// nodes, avg degree 256). The default is scaled to 20 000 nodes with
+// avg degree ≈ 50 to keep experiments laptop-sized; use GooglePlusN for
+// other scales. Heavy-tailed degrees and strong connectivity — the
+// features Figure 6 depends on — are preserved by the preferential-
+// attachment construction.
+func GooglePlus(seed int64) *graph.Graph {
+	return GooglePlusN(20000, seed)
+}
+
+// GooglePlusN is GooglePlus with an explicit node count (n >= 30). The
+// power-law-communities construction reproduces the properties of the
+// real crawl that drive the paper's Figure 6 — heavy-tailed degrees and
+// high clustering (Table 1: 0.51) — where plain preferential attachment
+// would give clustering ≈ 0.
+func GooglePlusN(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	max := n / 20
+	if max < 40 {
+		max = 40
+	}
+	g := graph.PowerLawCommunities(n, 15, max, 2.3, 0.5, 1, rng)
+	g = g.LargestComponent()
+	g.SetName("gplus")
+	attachDefaultAttrs(g, rng)
+	return g
+}
+
+// Yelp is a stand-in for the paper's Yelp LCC (119 839 nodes, avg
+// degree 15.9), scaled to 12 000 nodes. Blocks of *heterogeneous*
+// density make degree homophilous (users cluster with users of similar
+// activity), and the "reviews_count" attribute is generated with
+// community-level homophily — the property Figure 9's grouping-strategy
+// comparison exercises.
+func Yelp(seed int64) *graph.Graph {
+	return YelpN(12000, seed)
+}
+
+// YelpN is Yelp with an explicit node count (n >= 600, rounded down to
+// a multiple of the 60-community layout). The mixing parameters are
+// chosen so that a typical neighborhood spans both same-community
+// neighbors (similar reviews_count) and cross-community neighbors
+// (different reviews_count): that neighborhood diversity is what lets
+// GNRW's attribute stratification alternate between "stay" and "escape"
+// path blocks (§4.1).
+func YelpN(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	const communities = 60
+	size := n / communities
+	if size < 10 {
+		size = 10
+	}
+	sizes := make([]int, communities)
+	for i := range sizes {
+		sizes[i] = size
+	}
+	// Heterogeneous intra-community density (communities of low- to
+	// high-activity users, intra-degree ≈ 4..30) plus sparse
+	// inter-community mixing (≈ 1.5 escape edges per user): communities
+	// are sticky enough that history pays off, while a typical
+	// neighborhood still contains the occasional cross-community
+	// neighbor for the stratification to single out. Average degree
+	// lands near the real Yelp LCC's 15.9.
+	pout := 1.5 / float64(n)
+	g := buildHeterogeneousSBM(sizes, 0.04/float64(size)*100, 0.40/float64(size)*100, pout, rng)
+	g = g.LargestComponent()
+	g.SetName("yelp")
+	attachYelpAttrs(g, rng)
+	return g
+}
+
+// YelpVariant exposes the Yelp construction with an explicit
+// inter-community edge rate (expected escape edges per user); it exists
+// for mixing-sensitivity studies and ablation benches.
+func YelpVariant(n int, interPerUser float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	const communities = 60
+	size := n / communities
+	if size < 10 {
+		size = 10
+	}
+	sizes := make([]int, communities)
+	for i := range sizes {
+		sizes[i] = size
+	}
+	g := buildHeterogeneousSBM(sizes, 0.04/float64(size)*100, 0.40/float64(size)*100, interPerUser/float64(n), rng)
+	g = g.LargestComponent()
+	g.SetName(fmt.Sprintf("yelp-x%.1f", interPerUser))
+	attachYelpAttrs(g, rng)
+	return g
+}
+
+// Youtube is a stand-in for the paper's YouTube benchmark graph
+// (1 134 890 nodes, avg degree 5.3), scaled to 30 000 nodes with the
+// same sparse, heavy-tailed shape.
+func Youtube(seed int64) *graph.Graph {
+	return YoutubeN(30000, seed)
+}
+
+// YoutubeN is Youtube with an explicit node count (n >= 10). The real
+// graph is sparse with low clustering (Table 1: 0.08), matched with a
+// low triad-closure probability.
+func YoutubeN(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.HolmeKim(n, 3, 0.35, rng)
+	g.SetName("youtube")
+	attachDefaultAttrs(g, rng)
+	return g
+}
+
+// ClusteredGraph recreates the paper's "Clustering graph" (Table 1:
+// 90 nodes, 1707 edges): three complete subgraphs of sizes 10, 30 and 50
+// chained by single bridge edges.
+func ClusteredGraph() *graph.Graph {
+	g := graph.ClusteredCliques([]int{10, 30, 50})
+	g.SetName("clustered")
+	rng := rand.New(rand.NewSource(1))
+	attachDefaultAttrs(g, rng)
+	return g
+}
+
+// AttrClique2 marks membership in the second clique of a barbell graph
+// (1.0 for nodes of G2, 0.0 for G1). Estimating its mean — the
+// fraction of users on the far side of the bottleneck, truth 0.5 — is
+// the slowest-mixing aggregate on a barbell and the measure function of
+// the Figure 11 error sub-figure.
+const AttrClique2 = "clique2"
+
+// BarbellGraph recreates the paper's barbell dataset (Table 1: two K_50
+// cliques, 100 nodes, 2451 edges) for size 2k; Figure 11 varies
+// 2k ∈ {20..56}.
+func BarbellGraph(nodes int) *graph.Graph {
+	g := graph.Barbell(nodes / 2)
+	rng := rand.New(rand.NewSource(int64(nodes)))
+	attachDefaultAttrs(g, rng)
+	clique2 := make([]float64, g.NumNodes())
+	for v := nodes / 2; v < g.NumNodes(); v++ {
+		clique2[v] = 1
+	}
+	mustSetAttr(g, AttrClique2, clique2)
+	return g
+}
+
+// buildHeterogeneousSBM generates a planted-partition graph whose
+// blocks have intra-densities interpolated between pinLo and pinHi with
+// a cubic ramp — most communities stay sparse and a few are dense,
+// right-skewing the degree distribution as in real OSNs — with
+// inter-density pout and a connecting bridge chain.
+func buildHeterogeneousSBM(sizes []int, pinLo, pinHi, pout float64, rng *rand.Rand) *graph.Graph {
+	// Generate the sparse background (inter-community edges) first with
+	// a uniform SBM at pin=0, then overlay per-community dense blocks.
+	total := 0
+	starts := make([]int, len(sizes))
+	for i, s := range sizes {
+		starts[i] = total
+		total += s
+	}
+	b := graph.NewBuilder(total)
+	community := make([]float64, total)
+	// Intra-community edges with varying density.
+	for i, s := range sizes {
+		pin := pinLo
+		if len(sizes) > 1 {
+			t := float64(i) / float64(len(sizes)-1)
+			pin = pinLo + (pinHi-pinLo)*t*t*t
+		}
+		for u := 0; u < s; u++ {
+			community[starts[i]+u] = float64(i)
+		}
+		for u := 0; u < s; u++ {
+			for v := u + 1; v < s; v++ {
+				if rng.Float64() < pin {
+					b.AddEdge(graph.Node(starts[i]+u), graph.Node(starts[i]+v))
+				}
+			}
+		}
+	}
+	// Inter-community edges: Bernoulli(pout) via expected-count sampling.
+	interPairs := float64(total)*float64(total-1)/2 - intraPairs(sizes)
+	expected := int(interPairs * pout)
+	for e := 0; e < expected; e++ {
+		u := graph.Node(rng.Intn(total))
+		v := graph.Node(rng.Intn(total))
+		if u != v && community[u] != community[v] {
+			b.AddEdge(u, v)
+		}
+	}
+	// Bridge chain guarantees connectivity.
+	for i := 0; i+1 < len(sizes); i++ {
+		b.AddEdge(graph.Node(starts[i]+sizes[i]-1), graph.Node(starts[i+1]))
+	}
+	g := b.Build()
+	if err := g.SetAttr(AttrCommunity, community); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func intraPairs(sizes []int) float64 {
+	sum := 0.0
+	for _, s := range sizes {
+		sum += float64(s) * float64(s-1) / 2
+	}
+	return sum
+}
+
+// attachDefaultAttrs attaches the standard attribute set every dataset
+// carries: "degree" (the walk's default measure function) and "age"
+// (a homophily-free uniform attribute useful as a control).
+func attachDefaultAttrs(g *graph.Graph, rng *rand.Rand) {
+	mustSetAttr(g, "degree", g.DegreeAttr())
+	age := make([]float64, g.NumNodes())
+	for i := range age {
+		age[i] = 18 + float64(rng.Intn(55))
+	}
+	mustSetAttr(g, AttrAge, age)
+}
+
+// attachYelpAttrs attaches the homophilous reviews_count attribute:
+// each community has a lognormal base review level and each user's
+// count is that base scaled by individual lognormal noise and weakly
+// coupled to the user's degree (more connected users review more).
+// Neighbors therefore have correlated reviews_count — the locality
+// property §4.1 relies on — while the attribute is far from a pure
+// function of degree.
+func attachYelpAttrs(g *graph.Graph, rng *rand.Rand) {
+	attachDefaultAttrs(g, rng)
+	comm, ok := g.Attr(AttrCommunity)
+	if !ok {
+		panic("dataset: yelp graph missing community attribute")
+	}
+	// Per-community lognormal base.
+	nComm := 0
+	for _, c := range comm {
+		if int(c)+1 > nComm {
+			nComm = int(c) + 1
+		}
+	}
+	base := make([]float64, nComm)
+	for i := range base {
+		base[i] = math.Exp(rng.NormFloat64()*1.5 + 2.0) // median ~7.4 reviews, wide spread across communities
+	}
+	reviews := make([]float64, g.NumNodes())
+	for v := range reviews {
+		noise := math.Exp(rng.NormFloat64() * 0.25) // small within-community spread
+		degBoost := 1 + 0.02*float64(g.Degree(graph.Node(v)))
+		reviews[v] = math.Round(base[int(comm[v])]*noise*degBoost + rng.Float64())
+	}
+	mustSetAttr(g, AttrReviews, reviews)
+}
+
+func mustSetAttr(g *graph.Graph, name string, vs []float64) {
+	if err := g.SetAttr(name, vs); err != nil {
+		panic(err) // lengths match by construction
+	}
+}
+
+// All returns the full Table 1 dataset family at default scales, in the
+// paper's order.
+func All(seed int64) []*graph.Graph {
+	return []*graph.Graph{
+		FacebookEgo2(seed),
+		GooglePlus(seed),
+		Yelp(seed),
+		Youtube(seed),
+		ClusteredGraph(),
+		BarbellGraph(100),
+	}
+}
+
+// ByName constructs a default-scale dataset by its paper name
+// ("facebook", "gplus", "yelp", "youtube", "clustered", "barbell",
+// "facebook-ego1"). It returns nil for unknown names.
+func ByName(name string, seed int64) *graph.Graph {
+	switch name {
+	case "facebook":
+		return FacebookEgo2(seed)
+	case "facebook-ego1":
+		return FacebookEgo1(seed)
+	case "gplus":
+		return GooglePlus(seed)
+	case "yelp":
+		return Yelp(seed)
+	case "youtube":
+		return Youtube(seed)
+	case "clustered":
+		return ClusteredGraph()
+	case "barbell":
+		return BarbellGraph(100)
+	default:
+		return nil
+	}
+}
+
+// Names lists the dataset names accepted by ByName.
+func Names() []string {
+	return []string{"facebook", "facebook-ego1", "gplus", "yelp", "youtube", "clustered", "barbell"}
+}

@@ -1,0 +1,233 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"histwalk/internal/graph"
+)
+
+// checkDataset asserts the structural invariants every evaluation
+// dataset must satisfy: connected (walk preconditions), validated
+// adjacency, and the expected attribute set.
+func checkDataset(t *testing.T, g *graph.Graph, wantAttrs ...string) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s: %v", g.Name(), err)
+	}
+	if !g.IsConnected() {
+		t.Fatalf("%s: not connected", g.Name())
+	}
+	if g.MinDegree() < 1 {
+		t.Fatalf("%s: has isolated nodes", g.Name())
+	}
+	for _, a := range wantAttrs {
+		if _, ok := g.Attr(a); !ok {
+			t.Fatalf("%s: missing attribute %q", g.Name(), a)
+		}
+	}
+}
+
+func TestFacebookEgo2Shape(t *testing.T) {
+	g := FacebookEgo2(1)
+	checkDataset(t, g, "degree", AttrAge, AttrCommunity)
+	// Paper's Table 1 row: 775 nodes, ~14k edges, clustering ≈ 0.47.
+	if g.NumNodes() != 775 {
+		t.Fatalf("nodes = %d, want 775", g.NumNodes())
+	}
+	if e := g.NumEdges(); e < 11000 || e > 17000 {
+		t.Fatalf("edges = %d, want ≈ 14000", e)
+	}
+	if c := g.AvgClustering(); c < 0.30 || c > 0.60 {
+		t.Fatalf("clustering = %v, want ≈ 0.47", c)
+	}
+}
+
+func TestFacebookEgo1Shape(t *testing.T) {
+	g := FacebookEgo1(1)
+	checkDataset(t, g, "degree", AttrAge)
+	if g.NumNodes() != 350 {
+		t.Fatalf("nodes = %d, want 350", g.NumNodes())
+	}
+	if c := g.AvgClustering(); c < 0.25 {
+		t.Fatalf("clustering = %v too low", c)
+	}
+}
+
+func TestGooglePlusShape(t *testing.T) {
+	g := GooglePlusN(4000, 1)
+	checkDataset(t, g, "degree", AttrAge, AttrCommunity)
+	if g.NumNodes() < 3800 {
+		t.Fatalf("nodes = %d (LCC too small)", g.NumNodes())
+	}
+	if ad := g.AvgDegree(); ad < 20 || ad > 90 {
+		t.Fatalf("avg degree = %v", ad)
+	}
+	// the two properties Figure 6 relies on
+	if c := g.AvgClustering(); c < 0.25 {
+		t.Fatalf("clustering = %v, want >= 0.25 (real graph: 0.51)", c)
+	}
+	if float64(g.MaxDegree()) < 3*g.AvgDegree() {
+		t.Fatalf("degrees not heavy-tailed: max %d avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestYelpShape(t *testing.T) {
+	g := YelpN(6000, 1)
+	checkDataset(t, g, "degree", AttrAge, AttrCommunity, AttrReviews)
+	if ad := g.AvgDegree(); ad < 7 || ad > 25 {
+		t.Fatalf("avg degree = %v, want ≈ 16", ad)
+	}
+	if c := g.AvgClustering(); c < 0.05 || c > 0.30 {
+		t.Fatalf("clustering = %v, want ≈ 0.12", c)
+	}
+	// reviews_count must be non-negative and not constant
+	rv, _ := g.Attr(AttrReviews)
+	min, max := rv[0], rv[0]
+	for _, x := range rv {
+		if x < 0 {
+			t.Fatal("negative review count")
+		}
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if max-min < 10 {
+		t.Fatalf("reviews_count nearly constant: [%v,%v]", min, max)
+	}
+}
+
+// TestYelpReviewsHomophily quantifies the locality property §4.1 relies
+// on: the expected absolute log-difference of reviews_count across an
+// edge must be well below the difference across a random node pair.
+func TestYelpReviewsHomophily(t *testing.T) {
+	g := YelpN(6000, 1)
+	rv, _ := g.Attr(AttrReviews)
+	logv := make([]float64, len(rv))
+	for i, x := range rv {
+		logv[i] = math.Log1p(x)
+	}
+	var edgeDiff, edgeCount float64
+	g.Edges(func(u, v graph.Node) bool {
+		edgeDiff += abs(logv[u] - logv[v])
+		edgeCount++
+		return true
+	})
+	edgeDiff /= edgeCount
+	var pairDiff float64
+	n := g.NumNodes()
+	pairs := 0
+	for i := 0; i < 20000; i++ {
+		u := (i * 7919) % n
+		v := (i*104729 + 13) % n
+		if u == v {
+			continue
+		}
+		pairDiff += abs(logv[u] - logv[v])
+		pairs++
+	}
+	pairDiff /= float64(pairs)
+	if edgeDiff > 0.7*pairDiff {
+		t.Fatalf("homophily too weak: edge diff %.3f vs random-pair diff %.3f", edgeDiff, pairDiff)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestYoutubeShape(t *testing.T) {
+	g := YoutubeN(5000, 1)
+	checkDataset(t, g, "degree", AttrAge)
+	if ad := g.AvgDegree(); ad < 4 || ad > 9 {
+		t.Fatalf("avg degree = %v, want ≈ 5-6", ad)
+	}
+	if c := g.AvgClustering(); c > 0.3 {
+		t.Fatalf("clustering = %v, want low (real graph: 0.08)", c)
+	}
+}
+
+func TestClusteredGraphMatchesPaper(t *testing.T) {
+	g := ClusteredGraph()
+	checkDataset(t, g, "degree", AttrAge)
+	if g.NumNodes() != 90 || g.NumEdges() != 1707 {
+		t.Fatalf("clustered: %d nodes %d edges (paper: 90/1707)", g.NumNodes(), g.NumEdges())
+	}
+	if tr := g.Triangles(); tr != 23780 {
+		t.Fatalf("triangles = %d (paper: 23780)", tr)
+	}
+}
+
+func TestBarbellGraphMatchesPaper(t *testing.T) {
+	g := BarbellGraph(100)
+	checkDataset(t, g, "degree", AttrAge)
+	if g.NumNodes() != 100 || g.NumEdges() != 2451 {
+		t.Fatalf("barbell: %d nodes %d edges (paper: 100/2451)", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestDeterminismAcrossCalls(t *testing.T) {
+	a := YelpN(3000, 7)
+	b := YelpN(3000, 7)
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	ra, _ := a.Attr(AttrReviews)
+	rb, _ := b.Attr(AttrReviews)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("attribute diverged at node %d", i)
+		}
+	}
+	c := YelpN(3000, 8)
+	if c.NumEdges() == a.NumEdges() {
+		t.Log("warning: different seeds gave same edge count (possible but unlikely)")
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	for _, name := range Names() {
+		g := ByName(name, 1)
+		if g == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nope", 1) != nil {
+		t.Fatal("unknown name should give nil")
+	}
+}
+
+func TestAllReturnsTableOneFamily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds all default-scale datasets")
+	}
+	graphs := All(1)
+	if len(graphs) != 6 {
+		t.Fatalf("All returned %d graphs", len(graphs))
+	}
+	names := map[string]bool{}
+	for _, g := range graphs {
+		names[g.Name()] = true
+	}
+	for _, want := range []string{"facebook", "gplus", "yelp", "youtube", "clustered"} {
+		if !names[want] {
+			t.Fatalf("missing dataset %q in %v", want, names)
+		}
+	}
+}
+
+func TestYelpVariantMixing(t *testing.T) {
+	sticky := YelpVariant(3000, 0.5, 1)
+	mixed := YelpVariant(3000, 6.0, 1)
+	if sticky.NumEdges() >= mixed.NumEdges() {
+		t.Fatalf("stickier variant has more edges: %d vs %d", sticky.NumEdges(), mixed.NumEdges())
+	}
+	checkDataset(t, sticky, AttrReviews)
+	checkDataset(t, mixed, AttrReviews)
+}

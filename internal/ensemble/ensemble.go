@@ -1,0 +1,202 @@
+// Package ensemble runs fleets of independent random-walk samplers in
+// parallel — the practical deployment mode for OSN crawling, where each
+// crawler account has its own rate limit and cache — and merges their
+// estimates. It also exposes the per-chain sample paths so convergence
+// diagnostics (Gelman–Rubin across chains) can certify the result.
+//
+// The design follows the observation of Alon et al. ("many random walks
+// are faster than one", cited as [3] by the paper) that independent
+// parallel walks cover a graph faster than one long walk of the same
+// total length.
+package ensemble
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"histwalk/internal/access"
+	"histwalk/internal/core"
+	"histwalk/internal/diagnostics"
+	"histwalk/internal/estimate"
+	"histwalk/internal/graph"
+)
+
+// Config parameterizes a parallel sampling run.
+type Config struct {
+	// Graph is the network to sample.
+	Graph *graph.Graph
+	// Factory builds one walker per chain.
+	Factory core.Factory
+	// Design selects the estimator correction (DesignFor the factory's
+	// stationary distribution).
+	Design estimate.Design
+	// Attr is the measure attribute ("degree" uses the node degree).
+	Attr string
+	// Chains is the number of independent walkers (>= 1).
+	Chains int
+	// BudgetPerChain is each walker's unique-query budget.
+	BudgetPerChain int
+	// MaxStepsPerChain caps each walk (0 = 200× budget).
+	MaxStepsPerChain int
+	// Seed derives each chain's seed.
+	Seed int64
+	// Parallelism caps concurrent goroutines (0 = Chains).
+	Parallelism int
+}
+
+// Result is the merged outcome of a parallel sampling run.
+type Result struct {
+	// Estimate is the pooled estimate over all chains' samples.
+	Estimate float64
+	// PerChain holds each chain's own estimate.
+	PerChain []float64
+	// GelmanRubin is R̂ over the chains' sample paths (NaN when not
+	// computable, e.g. a single chain).
+	GelmanRubin float64
+	// TotalQueries sums the unique queries across chains (each crawler
+	// has its own cache, so queries are not shared).
+	TotalQueries int
+	// TotalSteps sums the transitions across chains.
+	TotalSteps int
+}
+
+// Run executes the ensemble. Chains run concurrently; the merge is
+// deterministic given Config.Seed regardless of scheduling.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("ensemble: nil graph")
+	}
+	if cfg.Chains < 1 {
+		return nil, errors.New("ensemble: Chains must be >= 1")
+	}
+	if cfg.BudgetPerChain < 1 {
+		return nil, errors.New("ensemble: BudgetPerChain must be >= 1")
+	}
+	maxSteps := cfg.MaxStepsPerChain
+	if maxSteps <= 0 {
+		maxSteps = 200 * cfg.BudgetPerChain
+	}
+	par := cfg.Parallelism
+	if par <= 0 || par > cfg.Chains {
+		par = cfg.Chains
+	}
+
+	type chainOut struct {
+		values  []float64
+		degrees []int
+		queries int
+		steps   int
+		err     error
+	}
+	outs := make([]chainOut, cfg.Chains)
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Chains; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outs[c] = runChain(cfg, c, maxSteps)
+		}(c)
+	}
+	wg.Wait()
+
+	res := &Result{}
+	pooled := estimate.NewMean(cfg.Design)
+	var chains [][]float64
+	minLen := -1
+	for c := range outs {
+		o := &outs[c]
+		if o.err != nil {
+			return nil, fmt.Errorf("ensemble: chain %d: %w", c, o.err)
+		}
+		chain := estimate.NewMean(cfg.Design)
+		for i := range o.values {
+			if err := pooled.Add(o.values[i], o.degrees[i]); err != nil {
+				return nil, err
+			}
+			if err := chain.Add(o.values[i], o.degrees[i]); err != nil {
+				return nil, err
+			}
+		}
+		est, err := chain.Estimate()
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: chain %d produced no samples", c)
+		}
+		res.PerChain = append(res.PerChain, est)
+		res.TotalQueries += o.queries
+		res.TotalSteps += o.steps
+		chains = append(chains, o.values)
+		if minLen < 0 || len(o.values) < minLen {
+			minLen = len(o.values)
+		}
+	}
+	est, err := pooled.Estimate()
+	if err != nil {
+		return nil, err
+	}
+	res.Estimate = est
+
+	// R̂ over equal-length prefixes of the chains' raw measure series.
+	if cfg.Chains >= 2 && minLen >= 4 {
+		trimmed := make([][]float64, len(chains))
+		for i, c := range chains {
+			trimmed[i] = c[:minLen]
+		}
+		r, err := diagnostics.GelmanRubin(trimmed)
+		if err == nil {
+			res.GelmanRubin = r
+		}
+	}
+	return res, nil
+}
+
+// runChain executes one walker to its budget.
+func runChain(cfg Config, c, maxSteps int) (out struct {
+	values  []float64
+	degrees []int
+	queries int
+	steps   int
+	err     error
+}) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*1_000_003))
+	sim := access.NewSimulator(cfg.Graph)
+	n := cfg.Graph.NumNodes()
+	if n == 0 {
+		out.err = errors.New("empty graph")
+		return
+	}
+	start := graph.Node(rng.Intn(n))
+	for tries := 0; cfg.Graph.Degree(start) == 0 && tries < 10*n; tries++ {
+		start = graph.Node(rng.Intn(n))
+	}
+	w := cfg.Factory.New(sim, start, rng)
+	for sim.QueryCost() < cfg.BudgetPerChain && out.steps < maxSteps {
+		v, err := w.Step()
+		if err != nil {
+			out.err = err
+			return
+		}
+		deg := cfg.Graph.Degree(v)
+		val := float64(deg)
+		if cfg.Attr != "" && cfg.Attr != "degree" {
+			x, ok := cfg.Graph.AttrValue(cfg.Attr, v)
+			if !ok {
+				out.err = fmt.Errorf("graph lacks attribute %q", cfg.Attr)
+				return
+			}
+			val = x
+		}
+		out.values = append(out.values, val)
+		out.degrees = append(out.degrees, deg)
+		out.steps++
+		if sim.QueryCost() >= cfg.Graph.NumNodes() {
+			break // whole graph cached; budget unreachable
+		}
+	}
+	out.queries = sim.QueryCost()
+	return
+}

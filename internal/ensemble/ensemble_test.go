@@ -1,0 +1,169 @@
+package ensemble
+
+import (
+	"math/rand"
+	"testing"
+
+	"histwalk/internal/core"
+	"histwalk/internal/estimate"
+	"histwalk/internal/graph"
+)
+
+func testGraph() *graph.Graph {
+	rng := rand.New(rand.NewSource(31))
+	g := graph.PlantedPartition([]int{30, 30, 30}, 0.4, 0.02, rng).LargestComponent()
+	g.SetName("sbm90")
+	return g
+}
+
+func TestRunBasic(t *testing.T) {
+	g := testGraph()
+	res, err := Run(Config{
+		Graph:          g,
+		Factory:        core.CNRWFactory(),
+		Design:         estimate.DegreeProportional,
+		Attr:           "degree",
+		Chains:         4,
+		BudgetPerChain: 40,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerChain) != 4 {
+		t.Fatalf("per-chain estimates = %d", len(res.PerChain))
+	}
+	if res.TotalQueries < 4*40-8 { // some chains may saturate slightly early
+		t.Fatalf("total queries = %d", res.TotalQueries)
+	}
+	if res.TotalSteps <= 0 {
+		t.Fatal("no steps recorded")
+	}
+	if estimate.RelativeError(res.Estimate, g.AvgDegree()) > 0.5 {
+		t.Fatalf("pooled estimate %v wildly off truth %v", res.Estimate, g.AvgDegree())
+	}
+	if res.GelmanRubin <= 0 {
+		t.Fatalf("R^ = %v, want computed", res.GelmanRubin)
+	}
+}
+
+func TestRunDeterministicAcrossSchedules(t *testing.T) {
+	g := testGraph()
+	cfg := Config{
+		Graph:          g,
+		Factory:        core.SRWFactory(),
+		Design:         estimate.DegreeProportional,
+		Attr:           "degree",
+		Chains:         3,
+		BudgetPerChain: 30,
+		Seed:           7,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 1 // force sequential scheduling
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate != b.Estimate {
+		t.Fatalf("estimates differ across schedules: %v vs %v", a.Estimate, b.Estimate)
+	}
+	for i := range a.PerChain {
+		if a.PerChain[i] != b.PerChain[i] {
+			t.Fatalf("chain %d estimate differs: %v vs %v", i, a.PerChain[i], b.PerChain[i])
+		}
+	}
+}
+
+func TestRunPooledBeatsWorstChain(t *testing.T) {
+	g := testGraph()
+	res, err := Run(Config{
+		Graph:          g,
+		Factory:        core.SRWFactory(),
+		Design:         estimate.DegreeProportional,
+		Attr:           "degree",
+		Chains:         8,
+		BudgetPerChain: 30,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := g.AvgDegree()
+	worst := 0.0
+	for _, e := range res.PerChain {
+		if r := estimate.RelativeError(e, truth); r > worst {
+			worst = r
+		}
+	}
+	pooled := estimate.RelativeError(res.Estimate, truth)
+	if pooled > worst {
+		t.Fatalf("pooled error %v exceeds worst chain %v", pooled, worst)
+	}
+}
+
+func TestRunAttributeAggregate(t *testing.T) {
+	g := testGraph()
+	vals := make([]float64, g.NumNodes())
+	for i := range vals {
+		vals[i] = float64(i % 10)
+	}
+	if err := g.SetAttr("score", vals); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Graph:          g,
+		Factory:        core.CNRWFactory(),
+		Design:         estimate.DegreeProportional,
+		Attr:           "score",
+		Chains:         3,
+		BudgetPerChain: 60,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := g.MeanAttr("score")
+	if estimate.RelativeError(res.Estimate, truth) > 0.6 {
+		t.Fatalf("estimate %v vs truth %v", res.Estimate, truth)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := testGraph()
+	if _, err := Run(Config{Factory: core.SRWFactory(), Chains: 1, BudgetPerChain: 5}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Run(Config{Graph: g, Factory: core.SRWFactory(), Chains: 0, BudgetPerChain: 5}); err == nil {
+		t.Fatal("zero chains accepted")
+	}
+	if _, err := Run(Config{Graph: g, Factory: core.SRWFactory(), Chains: 1, BudgetPerChain: 0}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := Run(Config{
+		Graph: g, Factory: core.SRWFactory(), Chains: 1,
+		BudgetPerChain: 5, Attr: "missing",
+	}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestRunSingleChainNoRhat(t *testing.T) {
+	g := testGraph()
+	res, err := Run(Config{
+		Graph:          g,
+		Factory:        core.SRWFactory(),
+		Design:         estimate.DegreeProportional,
+		Chains:         1,
+		BudgetPerChain: 20,
+		Seed:           2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GelmanRubin != 0 {
+		t.Fatalf("single chain R^ = %v, want 0 (not computable)", res.GelmanRubin)
+	}
+}

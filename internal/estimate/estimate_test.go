@@ -1,0 +1,225 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"histwalk/internal/access"
+	"histwalk/internal/core"
+	"histwalk/internal/graph"
+)
+
+func TestDesignString(t *testing.T) {
+	if DegreeProportional.String() != "degree-proportional" {
+		t.Fatal(DegreeProportional.String())
+	}
+	if Uniform.String() != "uniform" {
+		t.Fatal(Uniform.String())
+	}
+	if Design(9).String() == "" {
+		t.Fatal("unknown design should still stringify")
+	}
+}
+
+func TestMeanRejectsBadDegree(t *testing.T) {
+	m := NewMean(DegreeProportional)
+	if err := m.Add(1, 0); err == nil {
+		t.Fatal("degree 0 accepted")
+	}
+	if err := m.Add(1, -3); err == nil {
+		t.Fatal("negative degree accepted")
+	}
+	if _, err := m.Estimate(); err == nil {
+		t.Fatal("empty estimator returned a value")
+	}
+}
+
+func TestUniformMeanIsPlainAverage(t *testing.T) {
+	m := NewMean(Uniform)
+	vals := []float64{2, 4, 6, 8}
+	for _, v := range vals {
+		if err := m.Add(v, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.Estimate()
+	if err != nil || got != 5 {
+		t.Fatalf("Estimate = %v, %v", got, err)
+	}
+	if m.N() != 4 {
+		t.Fatalf("N = %d", m.N())
+	}
+}
+
+func TestDegreeProportionalReweighting(t *testing.T) {
+	// Two nodes: degree 1 (value 10) and degree 9 (value 20). A
+	// degree-proportional sampler sees the degree-9 node 9× more often;
+	// the ratio estimator must recover the population mean 15.
+	m := NewMean(DegreeProportional)
+	for i := 0; i < 9; i++ {
+		if err := m.Add(20, 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Add(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-15) > 1e-12 {
+		t.Fatalf("Estimate = %v, want 15", got)
+	}
+}
+
+func TestAvgDegreeHarmonicCorrection(t *testing.T) {
+	// Exactly degree-proportional frequencies: node of degree d appears
+	// d times. The estimator must recover the true average degree.
+	degrees := []int{1, 2, 3, 4}
+	a := NewAvgDegree(DegreeProportional)
+	for _, d := range degrees {
+		for i := 0; i < d; i++ {
+			if err := a.Add(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, err := a.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("avg degree = %v, want 2.5", got)
+	}
+}
+
+func TestProportionEstimator(t *testing.T) {
+	p := NewProportion(Uniform)
+	outcomes := []bool{true, false, true, true}
+	for _, o := range outcomes {
+		if err := p.Add(o, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := p.Estimate()
+	if err != nil || got != 0.75 {
+		t.Fatalf("proportion = %v, %v", got, err)
+	}
+	if p.N() != 4 {
+		t.Fatalf("N = %d", p.N())
+	}
+}
+
+func TestMeanFromPath(t *testing.T) {
+	vals := []float64{100, 2, 4, 6}
+	degs := []int{1, 1, 1, 1}
+	// burn-in drops the first (outlier) sample
+	got, err := MeanFromPath(Uniform, vals, degs, 1)
+	if err != nil || got != 4 {
+		t.Fatalf("MeanFromPath = %v, %v", got, err)
+	}
+	// negative burn-in treated as zero
+	got, err = MeanFromPath(Uniform, vals, degs, -5)
+	if err != nil || got != 28 {
+		t.Fatalf("MeanFromPath = %v, %v", got, err)
+	}
+	// burn-in swallowing everything is an error
+	if _, err := MeanFromPath(Uniform, vals, degs, 10); err == nil {
+		t.Fatal("all-burned path accepted")
+	}
+	// mismatched lengths
+	if _, err := MeanFromPath(Uniform, vals, degs[:2], 0); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	cases := []struct{ est, truth, want float64 }{
+		{11, 10, 0.1},
+		{9, 10, 0.1},
+		{5, 0, 5},
+		{-5, 0, 5},
+		{-12, -10, 0.2},
+		{10, 10, 0},
+	}
+	for _, c := range cases {
+		if got := RelativeError(c.est, c.truth); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RelativeError(%v,%v) = %v, want %v", c.est, c.truth, got, c.want)
+		}
+	}
+}
+
+// Property: for constant measure functions the estimator returns the
+// constant under both designs regardless of degrees.
+func TestConstantFunctionProperty(t *testing.T) {
+	f := func(cRaw int16, degRaws []uint8) bool {
+		c := float64(cRaw)
+		if len(degRaws) == 0 {
+			return true
+		}
+		for _, design := range []Design{DegreeProportional, Uniform} {
+			m := NewMean(design)
+			for _, dr := range degRaws {
+				if err := m.Add(c, 1+int(dr%30)); err != nil {
+					return false
+				}
+			}
+			got, err := m.Estimate()
+			if err != nil || math.Abs(got-c) > 1e-9*math.Max(1, math.Abs(c)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// End-to-end consistency: SRW + ratio estimator converges to the true
+// mean on an irregular graph; MHRW + plain mean likewise; and the
+// mismatched pairing is measurably biased.
+func TestEstimatorWalkerConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g := graph.PlantedPartition([]int{15, 25}, 0.6, 0.05, rng).LargestComponent()
+	truth := g.AvgDegree()
+
+	run := func(f core.Factory, design Design, steps int) float64 {
+		wrng := rand.New(rand.NewSource(62))
+		sim := access.NewSimulator(g)
+		w := f.New(sim, 0, wrng)
+		a := NewAvgDegree(design)
+		for s := 0; s < steps; s++ {
+			v, err := w.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Add(g.Degree(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		est, err := a.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+
+	srwEst := run(core.SRWFactory(), DegreeProportional, 300000)
+	if RelativeError(srwEst, truth) > 0.03 {
+		t.Fatalf("SRW+ratio estimate %v vs truth %v", srwEst, truth)
+	}
+	mhrwEst := run(core.MHRWFactory(), Uniform, 300000)
+	if RelativeError(mhrwEst, truth) > 0.03 {
+		t.Fatalf("MHRW+plain estimate %v vs truth %v", mhrwEst, truth)
+	}
+	// Mismatched: SRW with plain mean overestimates average degree
+	// (degree-biased sample).
+	biased := run(core.SRWFactory(), Uniform, 300000)
+	if biased <= truth*1.02 {
+		t.Fatalf("SRW+plain mean %v should overestimate truth %v", biased, truth)
+	}
+}

@@ -1,0 +1,209 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"histwalk/internal/access"
+	"histwalk/internal/core"
+	"histwalk/internal/graph"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{Point: 5, Low: 4, High: 7}
+	if !iv.Contains(5) || !iv.Contains(4) || iv.Contains(3.9) || iv.Contains(7.1) {
+		t.Fatal("Contains wrong")
+	}
+	if iv.Width() != 3 {
+		t.Fatal("Width wrong")
+	}
+}
+
+func TestZForLevels(t *testing.T) {
+	for conf, want := range map[float64]float64{0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758} {
+		z, err := zFor(conf)
+		if err != nil || z != want {
+			t.Fatalf("zFor(%v) = %v, %v", conf, z, err)
+		}
+	}
+	if _, err := zFor(0.8); err == nil {
+		t.Fatal("unsupported level accepted")
+	}
+}
+
+func TestMeanCIValidation(t *testing.T) {
+	if _, err := NewMeanCI(Uniform, 0); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	m, err := NewMeanCI(Uniform, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(1, 0); err == nil {
+		t.Fatal("bad degree accepted")
+	}
+	if _, err := m.Interval(0.95); err == nil {
+		t.Fatal("interval with no batches accepted")
+	}
+}
+
+func TestMeanCIPointMatchesMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, _ := NewMeanCI(DegreeProportional, 25)
+	plain := NewMean(DegreeProportional)
+	for i := 0; i < 1000; i++ {
+		v := rng.Float64() * 10
+		d := 1 + rng.Intn(9)
+		if err := m.Add(v, d); err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.Add(v, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := m.Estimate()
+	b, _ := plain.Estimate()
+	if a != b {
+		t.Fatalf("point estimates differ: %v vs %v", a, b)
+	}
+	if m.Batches() != 40 {
+		t.Fatalf("batches = %d", m.Batches())
+	}
+	if m.N() != 1000 {
+		t.Fatalf("N = %d", m.N())
+	}
+}
+
+// Coverage: over repeated iid experiments the 95% interval should
+// contain the truth most of the time (loose bound to keep the test
+// robust).
+func TestMeanCICoverageIID(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	truth := 5.0
+	hits, total := 0, 60
+	for trial := 0; trial < total; trial++ {
+		m, _ := NewMeanCI(Uniform, 20)
+		for i := 0; i < 2000; i++ {
+			if err := m.Add(truth+rng.NormFloat64()*3, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		iv, err := m.Interval(0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(truth) {
+			hits++
+		}
+		if iv.Low > iv.Point || iv.High < iv.Point {
+			t.Fatal("interval does not contain its own point")
+		}
+	}
+	if hits < total*80/100 {
+		t.Fatalf("95%% interval covered truth only %d/%d times", hits, total)
+	}
+}
+
+// Walk-based interval: on a real random walk the batch-means interval
+// should cover the true average degree with a reasonable rate.
+func TestMeanCICoverageWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.PlantedPartition([]int{20, 25}, 0.5, 0.05, rng).LargestComponent()
+	truth := g.AvgDegree()
+	hits, total := 0, 30
+	for trial := 0; trial < total; trial++ {
+		wrng := rand.New(rand.NewSource(int64(100 + trial)))
+		sim := access.NewSimulator(g)
+		w := core.NewCNRW(sim, 0, wrng)
+		m, _ := NewMeanCI(DegreeProportional, 500)
+		for s := 0; s < 20000; s++ {
+			v, err := w.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Add(float64(g.Degree(v)), g.Degree(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		iv, err := m.Interval(0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(truth) {
+			hits++
+		}
+	}
+	if hits < total*2/3 {
+		t.Fatalf("walk interval covered truth only %d/%d times", hits, total)
+	}
+}
+
+func TestConditionalMean(t *testing.T) {
+	c := NewConditionalMean(Uniform)
+	if _, err := c.Estimate(); err == nil {
+		t.Fatal("empty conditional estimator returned a value")
+	}
+	// matched values 10 and 20; unmatched 99 ignored
+	if err := c.Add(10, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(99, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(20, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Estimate()
+	if err != nil || got != 15 {
+		t.Fatalf("conditional mean = %v, %v", got, err)
+	}
+	if c.N() != 3 || c.Matched() != 2 {
+		t.Fatalf("N=%d Matched=%d", c.N(), c.Matched())
+	}
+	if err := c.Add(1, 0, true); err == nil {
+		t.Fatal("bad degree accepted")
+	}
+}
+
+// End-to-end conditional aggregate: "average degree of nodes in
+// community 0" from a degree-proportional walk.
+func TestConditionalMeanWalkConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.PlantedPartition([]int{25, 30}, 0.5, 0.05, rng).LargestComponent()
+	comm, _ := g.Attr("community")
+	// ground truth
+	var sum float64
+	var cnt int
+	for v := 0; v < g.NumNodes(); v++ {
+		if comm[v] == 0 {
+			sum += float64(g.Degree(graph.Node(v)))
+			cnt++
+		}
+	}
+	truth := sum / float64(cnt)
+
+	wrng := rand.New(rand.NewSource(5))
+	sim := access.NewSimulator(g)
+	w := core.NewCNRW(sim, 0, wrng)
+	c := NewConditionalMean(DegreeProportional)
+	for s := 0; s < 300000; s++ {
+		v, err := w.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Add(float64(g.Degree(v)), g.Degree(v), comm[v] == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RelativeError(got, truth) > 0.05 {
+		t.Fatalf("conditional estimate %v vs truth %v", got, truth)
+	}
+	if math.Abs(float64(c.Matched())/float64(c.N())-0.5) > 0.4 {
+		t.Fatalf("match rate implausible: %d/%d", c.Matched(), c.N())
+	}
+}

@@ -1,0 +1,139 @@
+package experiment
+
+// Ablation experiments for the design choices the paper (and DESIGN.md)
+// call out: edge-based vs node-based circulation (§3.2), layering
+// circulation on the non-backtracking walk (§5), and GNRW's stratum
+// count. These go beyond the paper's reported figures but answer the
+// questions its design discussion raises.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"histwalk/internal/access"
+	"histwalk/internal/core"
+	"histwalk/internal/dataset"
+	"histwalk/internal/graph"
+	"histwalk/internal/stats"
+)
+
+// AblationCirculationConfig parameterizes the circulation-keying
+// ablation.
+type AblationCirculationConfig struct {
+	// CliqueSize is |G1| of the barbell testbed.
+	CliqueSize int
+	// Steps is the walk length per trial.
+	Steps int
+	// Trials is the number of independent walks per variant.
+	Trials int
+	// Seed derives trial seeds.
+	Seed int64
+}
+
+// AblationCirculationTable measures the trial-to-trial standard
+// deviation of the clique-occupancy estimator on a barbell graph for
+// SRW, edge-keyed CNRW (the paper's design), node-keyed CNRW (the
+// alternative §3.2 argues against), NB-SRW and NB-CNRW.
+func AblationCirculationTable(cfg AblationCirculationConfig) (*Table, error) {
+	if cfg.CliqueSize < 2 {
+		cfg.CliqueSize = 10
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 120 * cfg.CliqueSize * cfg.CliqueSize
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 60
+	}
+	g := graph.Barbell(cfg.CliqueSize)
+	variants := []core.Factory{
+		core.SRWFactory(),
+		core.NBSRWFactory(),
+		core.CNRWFactory(),
+		core.CNRWNodeFactory(),
+		core.NBCNRWFactory(),
+	}
+	t := &Table{
+		ID:     "ablation-circulation",
+		Title:  fmt.Sprintf("Edge- vs node-keyed circulation on Barbell(%d): occupancy estimator", cfg.CliqueSize),
+		Header: []string{"walker", "mean(true 0.5)", "stddev", "vs SRW stddev"},
+	}
+	srwSD := 0.0
+	for _, f := range variants {
+		var w stats.Welford
+		for tr := 0; tr < cfg.Trials; tr++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(tr)))
+			sim := access.NewSimulator(g)
+			wk := f.New(sim, 0, rng)
+			in2 := 0
+			for s := 0; s < cfg.Steps; s++ {
+				v, err := wk.Step()
+				if err != nil {
+					return nil, fmt.Errorf("experiment: %s: %w", f.Name, err)
+				}
+				if int(v) >= cfg.CliqueSize {
+					in2++
+				}
+			}
+			w.Add(float64(in2) / float64(cfg.Steps))
+		}
+		if f.Name == "SRW" {
+			srwSD = w.StdDev()
+		}
+		ratio := "1.00"
+		if srwSD > 0 {
+			ratio = fmt.Sprintf("%.2f", w.StdDev()/srwSD)
+		}
+		t.Rows = append(t.Rows, []string{
+			f.Name,
+			fmt.Sprintf("%.4f", w.Mean()),
+			fmt.Sprintf("%.4f", w.StdDev()),
+			ratio,
+		})
+	}
+	return t, nil
+}
+
+// AblationGroupCountFigure sweeps GNRW's stratum count m on the Yelp
+// reviews aggregate; m = 1 degenerates to CNRW, large m to near-singleton
+// strata.
+func AblationGroupCountFigure(c PaperConfig) (*Figure, error) {
+	g := dataset.YelpN(c.YelpNodes, c.Seed)
+	var factories []core.Factory
+	for _, m := range []int{1, 2, 3, 5, 8, 12} {
+		f := core.GNRWFactory(core.AttrGrouper{Attr: dataset.AttrReviews, M: m})
+		f.Name = fmt.Sprintf("m=%d", m)
+		factories = append(factories, f)
+	}
+	return EstimationFigure(EstimationConfig{
+		ID:        "ablation-groupcount",
+		Title:     fmt.Sprintf("GNRW stratum count on Yelp stand-in (n=%d), AVG(reviews_count)", g.NumNodes()),
+		Graph:     g,
+		Attr:      dataset.AttrReviews,
+		Factories: factories,
+		Budgets:   []int{500, 1000, 1500},
+		Trials:    c.EstimationTrials,
+		Seed:      c.Seed * 9000,
+	})
+}
+
+// AblationFrontierFigure compares single-walker CNRW with frontier
+// sampling (m walkers) and the frontier+CNRW hybrid on the Google Plus
+// stand-in, at equal unique-query budgets.
+func AblationFrontierFigure(c PaperConfig) (*Figure, error) {
+	g := dataset.GooglePlusN(c.GPlusNodes, c.Seed)
+	return EstimationFigure(EstimationConfig{
+		ID:    "ablation-frontier",
+		Title: fmt.Sprintf("Frontier sampling vs single walks on Google Plus stand-in (n=%d)", g.NumNodes()),
+		Graph: g,
+		Attr:  "degree",
+		Factories: []core.Factory{
+			core.SRWFactory(),
+			core.CNRWFactory(),
+			core.FrontierFactory(5),
+			core.FrontierCNRWFactory(5),
+		},
+		Budgets: []int{250, 500, 1000},
+		Trials:  c.EstimationTrials,
+		Seed:    c.Seed * 9500,
+	})
+}

@@ -1,0 +1,128 @@
+package experiment
+
+// CSV export of figures and tables, so the reproduction's data can be
+// fed to external plotting tools.
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSV writes the figure as CSV: a header row with the x label and
+// one column per series, then one row per x value (empty cells where a
+// series lacks that x).
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+		if s.YErr != nil {
+			header = append(header, s.Name+"_stderr")
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, x := range f.xUnion() {
+		row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+		for _, s := range f.Series {
+			y, yerr, ok := s.pointAt(x)
+			if ok {
+				row = append(row, strconv.FormatFloat(y, 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+			if s.YErr != nil {
+				if ok {
+					row = append(row, strconv.FormatFloat(yerr, 'g', -1, 64))
+				} else {
+					row = append(row, "")
+				}
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// pointAt returns the y (and standard error) of the series at x.
+func (s *Series) pointAt(x float64) (y, yerr float64, ok bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			if s.YErr != nil && i < len(s.YErr) {
+				yerr = s.YErr[i]
+			}
+			return s.Y[i], yerr, true
+		}
+	}
+	return 0, 0, false
+}
+
+// WriteCSV writes the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the figure to dir/<ID>.csv, creating dir if needed.
+func (f *Figure) SaveCSV(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, f.ID+".csv")
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer file.Close()
+	if err := f.WriteCSV(file); err != nil {
+		return "", fmt.Errorf("experiment: writing %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// SaveCSV writes the table to dir/<ID>.csv, creating dir if needed.
+func (t *Table) SaveCSV(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, t.ID+".csv")
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer file.Close()
+	if err := t.WriteCSV(file); err != nil {
+		return "", fmt.Errorf("experiment: writing %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// SaveAllCSV writes every sub-figure of a DistanceResult to dir.
+func (d *DistanceResult) SaveAllCSV(dir string) ([]string, error) {
+	var paths []string
+	for _, fig := range []*Figure{d.KL, d.L2, d.Err} {
+		p, err := fig.SaveCSV(dir)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

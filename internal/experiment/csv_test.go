@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func demoFigure() *Figure {
+	return &Figure{
+		ID: "demo", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{0.5, 0.25}},
+			{Name: "b", X: []float64{2, 3}, Y: []float64{0.1, 0.05}, YErr: []float64{0.01, 0.02}},
+		},
+	}
+}
+
+func TestFigureWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoFigure().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + x=1,2,3
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "x,a,b,b_stderr" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,0.5,," {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "2,0.25,0.1,0.01" {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+	if lines[3] != "3,,0.05,0.02" {
+		t.Fatalf("row 3 = %q", lines[3])
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := &Table{
+		ID: "tdemo", Header: []string{"a", "b"},
+		Rows: [][]string{{"1", "x,y"}, {"2", "z"}},
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "\"x,y\"") {
+		t.Fatalf("comma cell not quoted:\n%s", out)
+	}
+}
+
+func TestSaveCSV(t *testing.T) {
+	dir := t.TempDir()
+	path, err := demoFigure().SaveCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "demo.csv" {
+		t.Fatalf("path = %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "x,a,b") {
+		t.Fatalf("file contents wrong:\n%s", data)
+	}
+	tb := &Table{ID: "t1", Header: []string{"h"}, Rows: [][]string{{"v"}}}
+	if _, err := tb.SaveCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	res := &DistanceResult{KL: demoFigure(), L2: demoFigure(), Err: demoFigure()}
+	res.KL.ID, res.L2.ID, res.Err.ID = "d-kl", "d-l2", "d-err"
+	paths, err := res.SaveAllCSV(dir)
+	if err != nil || len(paths) != 3 {
+		t.Fatalf("SaveAllCSV = %v, %v", paths, err)
+	}
+}
+
+func TestAblationCirculationTable(t *testing.T) {
+	tb, err := AblationCirculationTable(AblationCirculationConfig{
+		CliqueSize: 6, Steps: 8000, Trials: 15, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// first row is SRW with ratio 1.00
+	if tb.Rows[0][0] != "SRW" || tb.Rows[0][3] != "1.00" {
+		t.Fatalf("SRW row = %v", tb.Rows[0])
+	}
+	// defaults fill in
+	tb2, err := AblationCirculationTable(AblationCirculationConfig{Seed: 2, Trials: 5, Steps: 2000})
+	if err != nil || len(tb2.Rows) != 5 {
+		t.Fatalf("defaults: %v, %v", tb2, err)
+	}
+}
+
+func TestAblationFiguresSmallScale(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.YelpNodes = 1200
+	cfg.GPlusNodes = 1200
+	cfg.EstimationTrials = 5
+	fig, err := AblationGroupCountFigure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 6 {
+		t.Fatalf("group-count series = %d", len(fig.Series))
+	}
+	ff, err := AblationFrontierFigure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ff.Series) != 4 {
+		t.Fatalf("frontier series = %d", len(ff.Series))
+	}
+	if ff.SeriesByName("Frontier(m=5)") == nil {
+		t.Fatal("frontier series missing")
+	}
+}

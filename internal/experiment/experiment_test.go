@@ -1,0 +1,376 @@
+package experiment
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"histwalk/internal/core"
+	"histwalk/internal/estimate"
+	"histwalk/internal/graph"
+)
+
+func testFactories() []core.Factory {
+	return []core.Factory{core.SRWFactory(), core.CNRWFactory()}
+}
+
+func testGraph() *graph.Graph {
+	rng := rand.New(rand.NewSource(81))
+	g := graph.PlantedPartition([]int{20, 20, 20}, 0.5, 0.02, rng).LargestComponent()
+	g.SetName("sbm60")
+	return g
+}
+
+func TestDesignFor(t *testing.T) {
+	if DesignFor("MHRW") != estimate.Uniform {
+		t.Fatal("MHRW should be uniform")
+	}
+	for _, n := range []string{"SRW", "NB-SRW", "CNRW", "GNRW(By-Degree)", "NB-CNRW"} {
+		if DesignFor(n) != estimate.DegreeProportional {
+			t.Fatalf("%s should be degree-proportional", n)
+		}
+	}
+}
+
+func TestCostModelString(t *testing.T) {
+	if CostUnique.String() != "unique-queries" || CostSteps.String() != "steps" {
+		t.Fatal("cost model strings wrong")
+	}
+	if CostModel(9).String() == "" {
+		t.Fatal("unknown cost model should still stringify")
+	}
+}
+
+func TestRunTrialCheckpoints(t *testing.T) {
+	g := testGraph()
+	budgets := []int{5, 10, 20}
+	res, err := runTrial(g, core.SRWFactory(), "degree", budgets, 1, true, CostUnique)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) != 3 || len(res.FinalNodes) != 3 {
+		t.Fatalf("checkpoint counts wrong: %+v", res)
+	}
+	for i, e := range res.Estimates {
+		if e <= 0 {
+			t.Fatalf("estimate[%d] = %v", i, e)
+		}
+	}
+	if res.QueryCost < budgets[len(budgets)-1] {
+		t.Fatalf("query cost %d below final budget", res.QueryCost)
+	}
+	if res.Steps <= 0 || len(res.Path) != res.Steps {
+		t.Fatalf("steps %d, path %d", res.Steps, len(res.Path))
+	}
+	// crossing steps are monotone and within the path
+	prev := 0
+	for _, c := range res.CrossSteps {
+		if c < prev || c > len(res.Path) {
+			t.Fatalf("cross steps %v invalid", res.CrossSteps)
+		}
+		prev = c
+	}
+}
+
+func TestRunTrialStepsCost(t *testing.T) {
+	g := testGraph()
+	res, err := runTrial(g, core.SRWFactory(), "degree", []int{7, 15}, 2, false, CostSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 15 {
+		t.Fatalf("steps = %d, want exactly 15 under CostSteps", res.Steps)
+	}
+}
+
+func TestRunTrialBudgetsValidation(t *testing.T) {
+	g := testGraph()
+	if _, err := runTrial(g, core.SRWFactory(), "degree", nil, 1, false, CostUnique); err == nil {
+		t.Fatal("empty budgets accepted")
+	}
+	if _, err := runTrial(g, core.SRWFactory(), "degree", []int{10, 5}, 1, false, CostUnique); err == nil {
+		t.Fatal("non-ascending budgets accepted")
+	}
+	if _, err := runTrial(g, core.SRWFactory(), "no_such_attr", []int{5}, 1, false, CostUnique); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestRunTrialSaturationFreeze(t *testing.T) {
+	// Budget above the node count can never be reached with unique
+	// queries; the trial must terminate and freeze the checkpoints.
+	g := graph.Complete(6)
+	res, err := runTrial(g, core.SRWFactory(), "degree", []int{3, 1000}, 3, false, CostUnique)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimates[1] <= 0 {
+		t.Fatal("saturated checkpoint not frozen with a valid estimate")
+	}
+	// K6 degree estimate should be exact (up to floating-point
+	// accumulation): every node has degree 5.
+	if d := res.Estimates[1] - 5; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("estimate = %v, want 5", res.Estimates[1])
+	}
+}
+
+func TestEstimationFigureShape(t *testing.T) {
+	g := testGraph()
+	fig, err := EstimationFigure(EstimationConfig{
+		ID: "t", Title: "t", Graph: g, Attr: "degree",
+		Factories: testFactories(),
+		Budgets:   []int{10, 20, 40},
+		Trials:    30, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 3 || len(s.Y) != 3 || len(s.YErr) != 3 {
+			t.Fatalf("series %s has wrong lengths", s.Name)
+		}
+		// error decreases with budget on this well-behaved graph
+		if s.Y[2] >= s.Y[0] {
+			t.Fatalf("series %s: error did not decrease (%.4f → %.4f)", s.Name, s.Y[0], s.Y[2])
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 2 {
+				t.Fatalf("series %s: implausible error %v", s.Name, y)
+			}
+		}
+	}
+	if _, err := EstimationFigure(EstimationConfig{Graph: g, Attr: "degree", Factories: testFactories(), Budgets: []int{5}, Trials: 0}); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestEstimationFigureSharedStarts(t *testing.T) {
+	// The same trial seed must give every algorithm the same start node;
+	// with one trial and one budget, both algorithms' first visited node
+	// derives from the same RNG draw.
+	g := testGraph()
+	resA, err := runTrial(g, core.SRWFactory(), "degree", []int{3}, 77, true, CostUnique)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := runTrial(g, core.CNRWFactory(), "degree", []int{3}, 77, true, CostUnique)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Path[0] != resB.Path[0] {
+		t.Fatalf("first transition differs: %d vs %d (start nodes not shared)", resA.Path[0], resB.Path[0])
+	}
+}
+
+func TestDistanceFiguresShape(t *testing.T) {
+	g := testGraph()
+	res, err := DistanceFigures(DistanceConfig{
+		IDPrefix: "t", Title: "t", Graph: g, Attr: "degree",
+		Factories: testFactories(),
+		Budgets:   []int{10, 30},
+		Trials:    80, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []*Figure{res.KL, res.L2, res.Err} {
+		if len(fig.Series) != 2 {
+			t.Fatalf("%s: series = %d", fig.ID, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			if len(s.Y) != 2 {
+				t.Fatalf("%s/%s: %d points", fig.ID, s.Name, len(s.Y))
+			}
+			for _, y := range s.Y {
+				if y < 0 {
+					t.Fatalf("%s/%s: negative measure %v", fig.ID, s.Name, y)
+				}
+			}
+		}
+	}
+	if res.KL.ID != "t-kl" || res.L2.ID != "t-l2" || res.Err.ID != "t-err" {
+		t.Fatal("figure IDs wrong")
+	}
+}
+
+func TestStationaryFigure(t *testing.T) {
+	g := graph.Barbell(6)
+	fig, err := StationaryFigure(StationaryConfig{
+		ID: "t8", Title: "t", Graph: g,
+		Factories: testFactories(),
+		Walks:     10, StepsPerWalk: 20000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 { // Theoretical + 2 algorithms
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	if fig.Series[0].Name != "Theoretical" {
+		t.Fatal("first series must be Theoretical")
+	}
+	// X is the degree-sorted rank; theoretical Y must be non-decreasing.
+	th := fig.Series[0]
+	for i := 1; i < len(th.Y); i++ {
+		if th.Y[i] < th.Y[i-1]-1e-12 {
+			t.Fatal("theoretical series not sorted by degree")
+		}
+	}
+	// Long walks converge: both algorithms close to theoretical.
+	for _, name := range []string{"SRW", "CNRW"} {
+		d, err := StationaryDeviation(fig, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 0.02 {
+			t.Fatalf("%s deviates %v from theoretical", name, d)
+		}
+	}
+	if _, err := StationaryDeviation(fig, "nope"); err == nil {
+		t.Fatal("unknown series accepted")
+	}
+	if _, err := StationaryFigure(StationaryConfig{Graph: g, Factories: testFactories()}); err == nil {
+		t.Fatal("zero walks accepted")
+	}
+}
+
+func TestSizeSweepFigures(t *testing.T) {
+	res, err := SizeSweepFigures(SizeSweepConfig{
+		IDPrefix: "t11", Title: "t",
+		Sizes:     []int{12, 20},
+		Make:      func(size int) *graph.Graph { return graph.Barbell(size / 2) },
+		BudgetFor: func(size int) int { return size / 2 },
+		Factories: testFactories(),
+		Attr:      "degree",
+		Trials:    25, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []*Figure{res.KL, res.L2, res.Err} {
+		for _, s := range fig.Series {
+			if len(s.X) != 2 || s.X[0] != 12 || s.X[1] != 20 {
+				t.Fatalf("%s/%s: X = %v", fig.ID, s.Name, s.X)
+			}
+		}
+	}
+}
+
+func TestBarbellEscapeTheorem3(t *testing.T) {
+	res, err := BarbellEscape(EscapeConfig{CliqueSize: 20, Steps: 300000, Episodes: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SRW's per-visit crossing probability is 1/|G1|.
+	if res.PSRW < 0.03 || res.PSRW > 0.08 {
+		t.Fatalf("PSRW = %v, want ≈ 1/20 = 0.05", res.PSRW)
+	}
+	// Theorem 3: the ratio exceeds |G1|·ln|G1|/(|G1|−1).
+	if res.Ratio <= res.Bound {
+		t.Fatalf("Theorem 3 violated: ratio %.3f <= bound %.3f", res.Ratio, res.Bound)
+	}
+	// hazard at fill level 0 ≈ 1/k; at deeper fills it grows
+	if res.OppsByFill[0] == 0 {
+		t.Fatal("no fill-0 opportunities observed")
+	}
+	if res.HazardByFill[0] < 0.02 || res.HazardByFill[0] > 0.09 {
+		t.Fatalf("hazard[0] = %v, want ≈ 0.05", res.HazardByFill[0])
+	}
+	if res.MeanEscapeStepsSRW <= 0 || res.MeanEscapeStepsCNRW <= 0 {
+		t.Fatal("escape episodes did not run")
+	}
+	if _, err := BarbellEscape(EscapeConfig{CliqueSize: 1}); err == nil {
+		t.Fatal("degenerate clique accepted")
+	}
+}
+
+func TestDatasetTableRendering(t *testing.T) {
+	g1 := graph.Complete(5)
+	g1.SetName("k5")
+	g2 := graph.Barbell(4)
+	tb := DatasetTable([]*graph.Graph{g1, g2})
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"table1", "k5", "barbell-8", "triangles"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	fig := &Figure{
+		ID: "fx", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{0.5, 0.25}},
+			{Name: "b", X: []float64{2, 3}, Y: []float64{0.1, 0.05}, YErr: []float64{0.01, 0.01}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fx", "demo", "0.5000", "0.1000±0.0100", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered figure missing %q:\n%s", want, out)
+		}
+	}
+	// FinalValue / SeriesByName
+	if v, ok := fig.FinalValue("a"); !ok || v != 0.25 {
+		t.Fatalf("FinalValue = %v,%v", v, ok)
+	}
+	if _, ok := fig.FinalValue("zzz"); ok {
+		t.Fatal("unknown series had a final value")
+	}
+	if fig.SeriesByName("b") == nil || fig.SeriesByName("zzz") != nil {
+		t.Fatal("SeriesByName wrong")
+	}
+}
+
+func TestRandomStartSkipsIsolated(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(1, 2) // nodes 0 and 3 isolated
+	g := b.Build()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		v, err := randomStart(g, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 1 && v != 2 {
+			t.Fatalf("picked isolated node %d", v)
+		}
+	}
+	if _, err := randomStart(graph.NewBuilder(0).Build(), rng); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	g := graph.Complete(4)
+	if err := g.SetAttr("x", []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := groundTruth(g, "degree")
+	if err != nil || v != 3 {
+		t.Fatalf("degree truth = %v, %v", v, err)
+	}
+	v, err = groundTruth(g, "x")
+	if err != nil || v != 2.5 {
+		t.Fatalf("attr truth = %v, %v", v, err)
+	}
+	if _, err := groundTruth(g, "nope"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}

@@ -1,0 +1,353 @@
+package experiment
+
+// This file pins down the canonical configuration of every experiment in
+// the paper's evaluation (§6), so that cmd/repro, the repository benches
+// and EXPERIMENTS.md all run exactly the same protocols.
+
+import (
+	"fmt"
+
+	"histwalk/internal/core"
+	"histwalk/internal/dataset"
+	"histwalk/internal/graph"
+)
+
+// PaperConfig scales the full reproduction. Node counts control the
+// synthetic stand-ins for the large crawled graphs; trial counts control
+// the Monte Carlo precision of each figure.
+type PaperConfig struct {
+	// Seed derives every random choice in the reproduction.
+	Seed int64
+	// GPlusNodes, YelpNodes, YoutubeNodes size the large-graph
+	// stand-ins.
+	GPlusNodes, YelpNodes, YoutubeNodes int
+	// EstimationTrials is the walks per algorithm per estimation figure
+	// (Figures 6, 7d, 9).
+	EstimationTrials int
+	// DistanceTrials is the walks per algorithm for the bias figures
+	// (Figures 7, 10) and per size for Figure 11.
+	DistanceTrials int
+	// StationaryWalks and StationarySteps configure Figure 8
+	// (paper: 100 walks × 10000 steps).
+	StationaryWalks, StationarySteps int
+	// EscapeSteps and EscapeEpisodes configure the Theorem 3
+	// validation; EscapeClique is |G1| (smaller cliques give denser
+	// hazard statistics per step).
+	EscapeSteps, EscapeEpisodes, EscapeClique int
+	// GroupCount is m, the number of strata used by GNRW groupers.
+	GroupCount int
+}
+
+// QuickConfig returns a configuration sized for benches and CI: every
+// figure completes in seconds while preserving the qualitative shape.
+func QuickConfig() PaperConfig {
+	return PaperConfig{
+		Seed:             1,
+		GPlusNodes:       4000,
+		YelpNodes:        3000,
+		YoutubeNodes:     5000,
+		EstimationTrials: 60,
+		DistanceTrials:   200,
+		StationaryWalks:  20,
+		StationarySteps:  4000,
+		EscapeSteps:      400000,
+		EscapeEpisodes:   50,
+		EscapeClique:     12,
+		GroupCount:       5,
+	}
+}
+
+// FullConfig returns the configuration used for EXPERIMENTS.md: larger
+// stand-ins and enough trials for stable orderings (minutes, not hours).
+func FullConfig() PaperConfig {
+	return PaperConfig{
+		Seed:             1,
+		GPlusNodes:       8000,
+		YelpNodes:        6000,
+		YoutubeNodes:     20000,
+		EstimationTrials: 600,
+		DistanceTrials:   1500,
+		StationaryWalks:  100,
+		StationarySteps:  10000,
+		EscapeSteps:      5000000,
+		EscapeEpisodes:   300,
+		EscapeClique:     30,
+		GroupCount:       5,
+	}
+}
+
+// standardFactories returns the five algorithms of Figure 6 in the
+// paper's order.
+func standardFactories(m int) []core.Factory {
+	return []core.Factory{
+		core.MHRWFactory(),
+		core.SRWFactory(),
+		core.NBSRWFactory(),
+		core.CNRWFactory(),
+		core.GNRWFactory(core.DegreeGrouper{M: m}),
+	}
+}
+
+// srwFamilyFactories returns the four degree-proportional algorithms of
+// Figures 7 and 10.
+func srwFamilyFactories(m int) []core.Factory {
+	return []core.Factory{
+		core.SRWFactory(),
+		core.NBSRWFactory(),
+		core.CNRWFactory(),
+		core.GNRWFactory(core.DegreeGrouper{M: m}),
+	}
+}
+
+// Table1 computes the dataset-summary table over the paper's six
+// datasets at the configured scale.
+func Table1(c PaperConfig) *Table {
+	graphs := []*graph.Graph{
+		dataset.FacebookEgo2(c.Seed),
+		dataset.GooglePlusN(c.GPlusNodes, c.Seed),
+		dataset.YelpN(c.YelpNodes, c.Seed),
+		dataset.YoutubeN(c.YoutubeNodes, c.Seed),
+		dataset.ClusteredGraph(),
+		dataset.BarbellGraph(100),
+	}
+	t := DatasetTable(graphs)
+	t.Title = "Summary of the datasets (synthetic stand-ins; see DESIGN.md §4)"
+	return t
+}
+
+// Figure6 reproduces the Google Plus average-degree experiment: relative
+// error vs query cost for MHRW, SRW, NB-SRW, CNRW and GNRW.
+func Figure6(c PaperConfig) (*Figure, error) {
+	g := dataset.GooglePlusN(c.GPlusNodes, c.Seed)
+	// The paper's x-range is 20–1000 on a 240k-node crawl; our stand-in
+	// is ~30× smaller, so the grid is extended to 4000 to cover the
+	// same walk-length-to-graph-size regime at the top end (where the
+	// history advantage materializes). Budgets beyond half the node
+	// count are dropped — they approach cache saturation, where the
+	// unique-query metric stops being meaningful.
+	var budgets []int
+	for _, b := range []int{200, 400, 600, 800, 1000, 2000, 4000} {
+		if b <= g.NumNodes()/2 {
+			budgets = append(budgets, b)
+		}
+	}
+	if len(budgets) == 0 {
+		budgets = []int{g.NumNodes() / 4, g.NumNodes() / 2}
+	}
+	return EstimationFigure(EstimationConfig{
+		ID:        "fig6",
+		Title:     fmt.Sprintf("Google Plus stand-in (n=%d): estimation of average degree", g.NumNodes()),
+		Graph:     g,
+		Attr:      "degree",
+		Factories: standardFactories(c.GroupCount),
+		Budgets:   budgets,
+		Trials:    c.EstimationTrials,
+		Seed:      c.Seed * 1000,
+	})
+}
+
+// Figure7 reproduces the Facebook bias experiment: symmetric KL (7a),
+// ℓ2 distance (7b) and estimation error (7c) vs query cost. Like the
+// paper, the x-axis spans 20–140 queries with every transition charged
+// (CostSteps): the per-budget sample is the node the walk occupies
+// after exactly that many transitions, the textbook mixing measurement.
+func Figure7(c PaperConfig) (*DistanceResult, error) {
+	g := dataset.FacebookEgo2(c.Seed)
+	return DistanceFigures(DistanceConfig{
+		IDPrefix:  "fig7",
+		Title:     "Facebook stand-in (775 nodes)",
+		Graph:     g,
+		Attr:      "degree",
+		Factories: srwFamilyFactories(c.GroupCount),
+		Budgets:   []int{20, 40, 60, 80, 100, 120, 140},
+		Trials:    c.DistanceTrials,
+		Seed:      c.Seed * 2000,
+		Cost:      CostSteps,
+	})
+}
+
+// Figure7d reproduces the YouTube estimation-error experiment with SRW,
+// CNRW and GNRW.
+func Figure7d(c PaperConfig) (*Figure, error) {
+	g := dataset.YoutubeN(c.YoutubeNodes, c.Seed)
+	return EstimationFigure(EstimationConfig{
+		ID:    "fig7d",
+		Title: fmt.Sprintf("YouTube stand-in (n=%d): estimation error", g.NumNodes()),
+		Graph: g,
+		Attr:  "degree",
+		Factories: []core.Factory{
+			core.SRWFactory(),
+			core.CNRWFactory(),
+			core.GNRWFactory(core.DegreeGrouper{M: c.GroupCount}),
+		},
+		Budgets: []int{200, 400, 600, 800, 1000},
+		Trials:  c.EstimationTrials,
+		Seed:    c.Seed * 3000,
+	})
+}
+
+// Figure8 reproduces the sampling-distribution experiment on one of the
+// two Facebook stand-ins (which ∈ {1, 2}): the visit distributions of
+// SRW, CNRW and GNRW after many long walks, against the theoretical
+// π(v) = k_v/2|E|.
+func Figure8(c PaperConfig, which int) (*Figure, error) {
+	var g *graph.Graph
+	switch which {
+	case 1:
+		g = dataset.FacebookEgo1(c.Seed)
+	case 2:
+		g = dataset.FacebookEgo2(c.Seed)
+	default:
+		return nil, fmt.Errorf("experiment: Figure8 dataset must be 1 or 2, got %d", which)
+	}
+	return StationaryFigure(StationaryConfig{
+		ID:    fmt.Sprintf("fig8-%d", which),
+		Title: fmt.Sprintf("Sampling distribution on %s (%d walks × %d steps)", g.Name(), c.StationaryWalks, c.StationarySteps),
+		Graph: g,
+		Factories: []core.Factory{
+			core.SRWFactory(),
+			core.CNRWFactory(),
+			core.GNRWFactory(core.DegreeGrouper{M: c.GroupCount}),
+		},
+		Walks:        c.StationaryWalks,
+		StepsPerWalk: c.StationarySteps,
+		Seed:         c.Seed * 4000,
+	})
+}
+
+// Figure9 reproduces the Yelp grouping-strategy experiment: SRW against
+// GNRW grouped by degree, by MD5 (random) and by reviews count, once
+// estimating average degree (9a) and once average reviews count (9b).
+func Figure9(c PaperConfig) (*Figure, *Figure, error) {
+	g := dataset.YelpN(c.YelpNodes, c.Seed)
+	factories := []core.Factory{
+		core.SRWFactory(),
+		core.GNRWFactory(core.DegreeGrouper{M: c.GroupCount}),
+		core.GNRWFactory(core.HashGrouper{M: c.GroupCount}),
+		core.GNRWFactory(core.AttrGrouper{Attr: dataset.AttrReviews, M: c.GroupCount}),
+	}
+	budgets := []int{200, 400, 600, 800, 1000, 1500}
+	figA, err := EstimationFigure(EstimationConfig{
+		ID:        "fig9a",
+		Title:     fmt.Sprintf("Yelp stand-in (n=%d): estimate average degree", g.NumNodes()),
+		Graph:     g,
+		Attr:      "degree",
+		Factories: factories,
+		Budgets:   budgets,
+		Trials:    c.EstimationTrials,
+		Seed:      c.Seed * 5000,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	figB, err := EstimationFigure(EstimationConfig{
+		ID:        "fig9b",
+		Title:     fmt.Sprintf("Yelp stand-in (n=%d): estimate average reviews count", g.NumNodes()),
+		Graph:     g,
+		Attr:      dataset.AttrReviews,
+		Factories: factories,
+		Budgets:   budgets,
+		Trials:    c.EstimationTrials,
+		Seed:      c.Seed * 5000,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return figA, figB, nil
+}
+
+// Figure10 reproduces the clustered-graph bias experiment (three cliques
+// of 10/30/50 nodes): KL, ℓ2 and estimation error vs query cost. The
+// paper's 20–140 x-range exceeds the 90-node graph, so repeat queries
+// must be charged (CostSteps) for the range to be meaningful — that
+// model is used here, matching the paper's axes exactly.
+func Figure10(c PaperConfig) (*DistanceResult, error) {
+	return DistanceFigures(DistanceConfig{
+		IDPrefix:  "fig10",
+		Title:     "Clustered graph (cliques of 10/30/50)",
+		Graph:     dataset.ClusteredGraph(),
+		Attr:      "degree",
+		Factories: srwFamilyFactories(c.GroupCount),
+		Budgets:   []int{20, 40, 60, 80, 100, 120, 140},
+		Trials:    c.DistanceTrials,
+		Seed:      c.Seed * 6000,
+		Cost:      CostSteps,
+	})
+}
+
+// Figure10Unique is a supplementary variant of Figure 10 under the
+// paper's §2.3 unique-query cost model (budgets capped below the
+// 90-node count). Steps are then free, walks run much longer per unit
+// budget, and the history-aware walks' advantage is more visible; it is
+// reported alongside the paper-axes variant in EXPERIMENTS.md.
+func Figure10Unique(c PaperConfig) (*DistanceResult, error) {
+	return DistanceFigures(DistanceConfig{
+		IDPrefix:  "fig10u",
+		Title:     "Clustered graph, unique-query cost model",
+		Graph:     dataset.ClusteredGraph(),
+		Attr:      "degree",
+		Factories: srwFamilyFactories(c.GroupCount),
+		Budgets:   []int{20, 40, 60, 80},
+		Trials:    c.DistanceTrials,
+		Seed:      c.Seed * 6500,
+		Cost:      CostUnique,
+	})
+}
+
+// Figure11 reproduces the barbell size sweep: KL, ℓ2 and estimation
+// error at a fixed 100-transition budget for barbell graphs of 20–56
+// nodes — larger barbells mix slower, so every bias measure grows with
+// size, the paper's headline observation for this figure.
+func Figure11(c PaperConfig) (*DistanceResult, error) {
+	return SizeSweepFigures(SizeSweepConfig{
+		IDPrefix:  "fig11",
+		Title:     "Barbell graphs, size 20–56",
+		Sizes:     []int{20, 24, 28, 32, 36, 40, 44, 48, 52, 56},
+		Make:      func(size int) *graph.Graph { return dataset.BarbellGraph(size) },
+		BudgetFor: func(int) int { return 100 },
+		Factories: []core.Factory{
+			core.SRWFactory(),
+			core.CNRWFactory(),
+			core.GNRWFactory(core.DegreeGrouper{M: c.GroupCount}),
+		},
+		// Degrees on a barbell are nearly constant, making the
+		// average-degree aggregate trivially easy; the informative
+		// (slowest-mixing) aggregate is the far-clique occupancy.
+		Attr:   dataset.AttrClique2,
+		Trials: c.DistanceTrials / 2,
+		Seed:   c.Seed * 7000,
+		Cost:   CostSteps,
+	})
+}
+
+// Theorem3 validates the barbell escape-probability bound.
+func Theorem3(c PaperConfig) (*EscapeResult, error) {
+	clique := c.EscapeClique
+	if clique < 2 {
+		clique = 30
+	}
+	return BarbellEscape(EscapeConfig{
+		CliqueSize: clique,
+		Steps:      c.EscapeSteps,
+		Episodes:   c.EscapeEpisodes,
+		Seed:       c.Seed * 8000,
+	})
+}
+
+// EscapeTable renders an EscapeResult as a table for cmd/repro.
+func EscapeTable(res *EscapeResult) *Table {
+	return &Table{
+		ID:     "theorem3",
+		Title:  fmt.Sprintf("Theorem 3 validation on Barbell(|G1|=%d)", res.CliqueSize),
+		Header: []string{"quantity", "value"},
+		Rows: [][]string{
+			{"P_SRW (measured, theory 1/|G1|)", fmt.Sprintf("%.5f", res.PSRW)},
+			{"P_CNRW (Eq. 38, measured hazards)", fmt.Sprintf("%.5f", res.PCNRW)},
+			{"ratio P_CNRW/P_SRW", fmt.Sprintf("%.3f", res.Ratio)},
+			{"Theorem 3 lower bound", fmt.Sprintf("%.3f", res.Bound)},
+			{"bound satisfied", fmt.Sprintf("%v", res.Ratio > res.Bound)},
+			{"mean first-escape steps SRW", fmt.Sprintf("%.0f", res.MeanEscapeStepsSRW)},
+			{"mean first-escape steps CNRW", fmt.Sprintf("%.0f", res.MeanEscapeStepsCNRW)},
+		},
+	}
+}

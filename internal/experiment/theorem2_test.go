@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTheorem2Results(t *testing.T) {
+	rows, err := Theorem2Results(Theorem2Config{Steps: 60000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ExactSRW <= 0 {
+			t.Fatalf("%s: exact variance %v", r.Graph, r.ExactSRW)
+		}
+		// Theorem 2/4: history-aware walks can only be lower.
+		if r.EmpCNRW > r.ExactSRW {
+			t.Fatalf("%s: CNRW empirical %v exceeds exact SRW %v", r.Graph, r.EmpCNRW, r.ExactSRW)
+		}
+		if r.EmpGNRW > r.ExactSRW {
+			t.Fatalf("%s: GNRW empirical %v exceeds exact SRW %v", r.Graph, r.EmpGNRW, r.ExactSRW)
+		}
+		// SRW's own empirical estimate should be in the right ballpark.
+		if r.EmpSRW < 0.3*r.ExactSRW || r.EmpSRW > 3*r.ExactSRW {
+			t.Fatalf("%s: SRW empirical %v vs exact %v", r.Graph, r.EmpSRW, r.ExactSRW)
+		}
+		if r.SpectralGap < 0 || r.SpectralGap > 1 {
+			t.Fatalf("%s: gap %v", r.Graph, r.SpectralGap)
+		}
+	}
+}
+
+func TestTheorem2TableRender(t *testing.T) {
+	tb, err := Theorem2Table(Theorem2Config{Steps: 40000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"theorem2", "barbell-12", "clustered-18", "cycle-16", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTheorem2DefaultsApplied(t *testing.T) {
+	// zero Steps/Batch fall back to defaults without error
+	rows, err := Theorem2Results(Theorem2Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+}

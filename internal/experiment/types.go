@@ -1,0 +1,146 @@
+// Package experiment drives the paper's evaluation (§6): it runs
+// repeated, seeded walk trials over datasets, snapshots estimates at
+// query-budget checkpoints, assembles figure series and tables, and
+// renders them as text. Every figure and table of the paper has a
+// corresponding runner here; cmd/repro and the repository benches are
+// thin wrappers over this package.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Series is one labeled curve of a figure: Y (and optionally the
+// standard error YErr) as a function of X.
+type Series struct {
+	// Name labels the curve (algorithm name).
+	Name string
+	// X holds the independent variable (query cost, graph size, ...).
+	X []float64
+	// Y holds the measured value at each X.
+	Y []float64
+	// YErr optionally holds the standard error of each Y (may be nil).
+	YErr []float64
+}
+
+// Figure is the data behind one plot of the paper.
+type Figure struct {
+	// ID is the paper's figure identifier, e.g. "fig6".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Series holds one curve per algorithm.
+	Series []Series
+}
+
+// Render writes the figure as an aligned text table: one row per X
+// value, one column per series.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	// Collect the union of X values in order.
+	xs := f.xUnion()
+	for _, x := range xs {
+		row := []string{formatX(x)}
+		for _, s := range f.Series {
+			row = append(row, s.valueAt(x))
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// xUnion returns the sorted union of all series' X values.
+func (f *Figure) xUnion() []float64 {
+	seen := make(map[float64]struct{})
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if _, dup := seen[x]; !dup {
+				seen[x] = struct{}{}
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// valueAt formats the Y value of the series at x ("-" if absent).
+func (s *Series) valueAt(x float64) string {
+	for i, sx := range s.X {
+		if sx == x {
+			if s.YErr != nil && i < len(s.YErr) {
+				return fmt.Sprintf("%.4f±%.4f", s.Y[i], s.YErr[i])
+			}
+			return fmt.Sprintf("%.4f", s.Y[i])
+		}
+	}
+	return "-"
+}
+
+func formatX(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// FinalValue returns the last Y of the named series, or NaN-free zero
+// and false when absent. Benches use it to report headline metrics.
+func (f *Figure) FinalValue(series string) (float64, bool) {
+	for _, s := range f.Series {
+		if s.Name == series && len(s.Y) > 0 {
+			return s.Y[len(s.Y)-1], true
+		}
+	}
+	return 0, false
+}
+
+// SeriesByName returns the series with the given name, or nil.
+func (f *Figure) SeriesByName(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Table is a generic text table with a header row.
+type Table struct {
+	// ID is the paper's table identifier, e.g. "table1".
+	ID string
+	// Title describes the table.
+	Title string
+	// Header holds the column names.
+	Header []string
+	// Rows holds the cell values.
+	Rows [][]string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func buildTestDigraph(t *testing.T) *Digraph {
+	t.Helper()
+	b := NewDigraphBuilder(4)
+	// 0→1, 1→0 (mutual); 1→2 (one-way); 2→3, 3→2 (mutual); 0→3 (one-way)
+	arcs := [][2]Node{{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}, {0, 3}}
+	for _, a := range arcs {
+		if !b.AddArc(a[0], a[1]) {
+			t.Fatalf("arc %v rejected", a)
+		}
+	}
+	return b.Build()
+}
+
+func TestDigraphBuilderBasics(t *testing.T) {
+	b := NewDigraphBuilder(2)
+	if !b.AddArc(0, 1) {
+		t.Fatal("new arc rejected")
+	}
+	if b.AddArc(0, 1) {
+		t.Fatal("duplicate arc accepted")
+	}
+	if b.AddArc(1, 1) {
+		t.Fatal("self-loop accepted")
+	}
+	if b.AddArc(-1, 0) {
+		t.Fatal("negative node accepted")
+	}
+	if !b.AddArc(1, 0) {
+		t.Fatal("reverse arc should be distinct")
+	}
+	if b.NumArcs() != 2 {
+		t.Fatalf("arcs = %d", b.NumArcs())
+	}
+	if !b.HasArc(0, 1) || b.HasArc(0, 5) {
+		t.Fatal("HasArc wrong")
+	}
+	b.AddArc(5, 0)
+	if b.NumNodes() != 6 {
+		t.Fatalf("implicit growth: %d nodes", b.NumNodes())
+	}
+}
+
+func TestDigraphAdjacency(t *testing.T) {
+	d := buildTestDigraph(t)
+	if d.NumNodes() != 4 || d.NumArcs() != 6 {
+		t.Fatalf("digraph: %d nodes %d arcs", d.NumNodes(), d.NumArcs())
+	}
+	out0 := d.OutNeighbors(0)
+	if len(out0) != 2 || out0[0] != 1 || out0[1] != 3 {
+		t.Fatalf("OutNeighbors(0) = %v", out0)
+	}
+	in3 := d.InNeighbors(3)
+	if len(in3) != 2 || in3[0] != 0 || in3[1] != 2 {
+		t.Fatalf("InNeighbors(3) = %v", in3)
+	}
+	if d.OutDegree(1) != 2 || d.InDegree(1) != 1 {
+		t.Fatalf("degrees of 1: out %d in %d", d.OutDegree(1), d.InDegree(1))
+	}
+	if !d.HasArc(1, 2) || d.HasArc(2, 1) {
+		t.Fatal("HasArc wrong")
+	}
+}
+
+func TestMutualCasting(t *testing.T) {
+	d := buildTestDigraph(t)
+	g := d.Mutual()
+	// only {0,1} and {2,3} are mutual
+	if g.NumEdges() != 2 {
+		t.Fatalf("mutual edges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+		t.Fatal("mutual edges wrong")
+	}
+	if g.HasEdge(1, 2) || g.HasEdge(0, 3) {
+		t.Fatal("one-way arcs leaked into mutual cast")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEitherCasting(t *testing.T) {
+	d := buildTestDigraph(t)
+	g := d.Either()
+	// pairs: {0,1}, {1,2}, {2,3}, {0,3}
+	if g.NumEdges() != 4 {
+		t.Fatalf("either edges = %d, want 4", g.NumEdges())
+	}
+	for _, e := range [][2]Node{{0, 1}, {1, 2}, {2, 3}, {0, 3}} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v missing", e)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReciprocity(t *testing.T) {
+	d := buildTestDigraph(t)
+	// 4 of 6 arcs are reciprocated
+	if r := d.Reciprocity(); r < 0.66 || r > 0.67 {
+		t.Fatalf("reciprocity = %v, want 2/3", r)
+	}
+	empty := NewDigraphBuilder(3).Build()
+	if empty.Reciprocity() != 0 {
+		t.Fatal("empty reciprocity should be 0")
+	}
+}
+
+func TestReadDirectedEdgeList(t *testing.T) {
+	in := `# arcs
+10 20
+20 10
+10 30
+`
+	d, remap, err := ReadDirectedEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNodes() != 3 || d.NumArcs() != 3 {
+		t.Fatalf("digraph: %d nodes %d arcs", d.NumNodes(), d.NumArcs())
+	}
+	if remap[10] != 0 || remap[20] != 1 || remap[30] != 2 {
+		t.Fatalf("remap = %v", remap)
+	}
+	if !d.HasArc(0, 1) || !d.HasArc(1, 0) || !d.HasArc(0, 2) || d.HasArc(2, 0) {
+		t.Fatal("arcs misparsed")
+	}
+	g := d.Mutual()
+	if g.NumEdges() != 1 || !g.HasEdge(0, 1) {
+		t.Fatal("mutual cast of parsed digraph wrong")
+	}
+	// error cases
+	for _, bad := range []string{"1\n", "a b\n", "-1 2\n"} {
+		if _, _, err := ReadDirectedEdgeList(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q accepted", bad)
+		}
+	}
+}
+
+func TestMutualSubsetOfEither(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	d := RandomDigraph(40, 0.15, rng)
+	mutual := d.Mutual()
+	either := d.Either()
+	if mutual.NumEdges() > either.NumEdges() {
+		t.Fatal("mutual cast has more edges than either cast")
+	}
+	mutual.Edges(func(u, v Node) bool {
+		if !either.HasEdge(u, v) {
+			t.Fatalf("mutual edge %d-%d missing from either cast", u, v)
+		}
+		if !d.HasArc(u, v) || !d.HasArc(v, u) {
+			t.Fatalf("mutual edge %d-%d not actually reciprocated", u, v)
+		}
+		return true
+	})
+	if err := mutual.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := either.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInOutDegreeSumsMatchArcs(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	d := RandomDigraph(30, 0.2, rng)
+	outSum, inSum := 0, 0
+	for v := 0; v < d.NumNodes(); v++ {
+		outSum += d.OutDegree(Node(v))
+		inSum += d.InDegree(Node(v))
+	}
+	if outSum != d.NumArcs() || inSum != d.NumArcs() {
+		t.Fatalf("degree sums out=%d in=%d arcs=%d", outSum, inSum, d.NumArcs())
+	}
+}

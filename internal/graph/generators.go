@@ -1,0 +1,535 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(Node(u), Node(v))
+		}
+	}
+	g := b.Build()
+	g.SetName(fmt.Sprintf("complete-%d", n))
+	return g
+}
+
+// Barbell returns the paper's barbell graph: two complete subgraphs K_k
+// joined by a single bridging edge (§6.1, Table 1: Barbell(50) has 100
+// nodes and 2·C(50,2)+1 = 2451 edges). Nodes [0,k) form G1 and [k,2k)
+// form G2; the bridge connects node k-1 to node k.
+func Barbell(k int) *Graph {
+	if k < 1 {
+		return NewBuilder(0).Build()
+	}
+	b := NewBuilder(2 * k)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			b.AddEdge(Node(u), Node(v))
+			b.AddEdge(Node(k+u), Node(k+v))
+		}
+	}
+	b.AddEdge(Node(k-1), Node(k))
+	g := b.Build()
+	g.SetName(fmt.Sprintf("barbell-%d", 2*k))
+	return g
+}
+
+// ClusteredCliques returns the paper's "clustering graph": complete
+// subgraphs of the given sizes chained together by single bridging edges
+// (§6.1, Table 1: sizes 10/30/50 give 90 nodes and 1705+2 = 1707 edges).
+// Clique i occupies a contiguous node range; the bridge joins the last
+// node of clique i to the first node of clique i+1.
+func ClusteredCliques(sizes []int) *Graph {
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	b := NewBuilder(total)
+	base := 0
+	prevLast := -1
+	for _, s := range sizes {
+		for u := 0; u < s; u++ {
+			for v := u + 1; v < s; v++ {
+				b.AddEdge(Node(base+u), Node(base+v))
+			}
+		}
+		if prevLast >= 0 && s > 0 {
+			b.AddEdge(Node(prevLast), Node(base))
+		}
+		if s > 0 {
+			prevLast = base + s - 1
+		}
+		base += s
+	}
+	g := b.Build()
+	g.SetName(fmt.Sprintf("clustered-%d", total))
+	return g
+}
+
+// ErdosRenyi returns a G(n,p) random graph drawn with the given source.
+// It uses geometric edge skipping, so the cost is O(n + |E|) rather than
+// O(n^2) for sparse p.
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	if p > 0 && p < 1 {
+		// Iterate potential edges in lexicographic order, skipping ahead
+		// by geometric gaps.
+		lp := logq(1 - p)
+		u, v := 0, 0
+		for u < n {
+			gap := int(geomSkip(rng, lp))
+			v += 1 + gap
+			for v >= n && u < n {
+				v -= n
+				u++
+				if v <= u {
+					v = u + 1
+				}
+			}
+			if u < n && v > u && v < n {
+				b.AddEdge(Node(u), Node(v))
+			}
+		}
+	} else if p >= 1 {
+		return Complete(n)
+	}
+	g := b.Build()
+	g.SetName(fmt.Sprintf("er-%d", n))
+	return g
+}
+
+// logq returns ln(q), guarding q<=0.
+func logq(q float64) float64 {
+	if q <= 0 {
+		return -1e300
+	}
+	return math.Log(q)
+}
+
+// geomSkip draws a geometric gap with success log-prob lp = ln(1-p).
+func geomSkip(rng *rand.Rand, lp float64) int64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return int64(math.Log(u) / lp)
+}
+
+// GNM returns a uniform random graph with exactly n nodes and m distinct
+// edges (self-loops excluded).
+func GNM(n, m int, rng *rand.Rand) *Graph {
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	b := NewBuilder(n)
+	for b.NumEdges() < m {
+		u := Node(rng.Intn(n))
+		v := Node(rng.Intn(n))
+		b.AddEdge(u, v)
+	}
+	g := b.Build()
+	g.SetName(fmt.Sprintf("gnm-%d-%d", n, m))
+	return g
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: starting from a
+// small clique of m+1 nodes, each new node attaches to m distinct
+// existing nodes chosen with probability proportional to their current
+// degree. The result is connected with a heavy-tailed degree
+// distribution, the regime of the paper's large OSN crawls.
+func BarabasiAlbert(n, m int, rng *rand.Rand) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n < m+1 {
+		n = m + 1
+	}
+	b := NewBuilder(n)
+	// Repeated-endpoint list: node v appears deg(v) times, giving O(1)
+	// degree-proportional sampling.
+	endpoints := make([]Node, 0, 2*n*m)
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			b.AddEdge(Node(u), Node(v))
+			endpoints = append(endpoints, Node(u), Node(v))
+		}
+	}
+	chosen := make(map[Node]struct{}, m)
+	for v := m + 1; v < n; v++ {
+		for k := range chosen {
+			delete(chosen, k)
+		}
+		for len(chosen) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			chosen[t] = struct{}{}
+		}
+		for t := range chosen {
+			b.AddEdge(Node(v), t)
+			endpoints = append(endpoints, Node(v), t)
+		}
+	}
+	g := b.Build()
+	g.SetName(fmt.Sprintf("ba-%d-%d", n, m))
+	return g
+}
+
+// HolmeKim returns a power-law graph with tunable clustering (Holme &
+// Kim, 2002): nodes attach preferentially as in Barabási–Albert, but
+// after each preferential link the next link closes a triangle with
+// probability pt (it connects to a random neighbor of the node just
+// linked). High pt yields the combination found in real OSN crawls —
+// heavy-tailed degrees *and* large clustering coefficients — which the
+// plain BA model lacks.
+func HolmeKim(n, m int, pt float64, rng *rand.Rand) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n < m+1 {
+		n = m + 1
+	}
+	b := NewBuilder(n)
+	endpoints := make([]Node, 0, 2*n*m)
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			b.AddEdge(Node(u), Node(v))
+			endpoints = append(endpoints, Node(u), Node(v))
+		}
+	}
+	// neighbor lists maintained incrementally for triad closure
+	adj := make([][]Node, n)
+	for u := 0; u <= m; u++ {
+		for v := 0; v <= m; v++ {
+			if u != v {
+				adj[u] = append(adj[u], Node(v))
+			}
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		var last Node = -1
+		added := 0
+		for added < m {
+			var t Node = -1
+			if last >= 0 && rng.Float64() < pt {
+				// triad step: random neighbor of the last attached node
+				cand := adj[last]
+				if len(cand) > 0 {
+					t = cand[rng.Intn(len(cand))]
+				}
+			}
+			if t < 0 {
+				t = endpoints[rng.Intn(len(endpoints))]
+			}
+			if t == Node(v) || b.HasEdge(Node(v), t) {
+				// fall back to a fresh preferential draw to avoid
+				// stalling on duplicates
+				t = endpoints[rng.Intn(len(endpoints))]
+				if t == Node(v) || b.HasEdge(Node(v), t) {
+					continue
+				}
+			}
+			b.AddEdge(Node(v), t)
+			adj[v] = append(adj[v], t)
+			adj[t] = append(adj[t], Node(v))
+			endpoints = append(endpoints, Node(v), t)
+			last = t
+			added++
+		}
+	}
+	g := b.Build()
+	g.SetName(fmt.Sprintf("hk-%d-%d", n, m))
+	return g
+}
+
+// PowerLawCommunities builds a large OSN-like graph: nodes are packed
+// into communities whose sizes follow a truncated Pareto(alpha)
+// distribution on [minSize, maxSize]; node pairs within a community are
+// linked with probability pin; and every node receives globalLinks
+// additional endpoints chosen by preferential attachment across the
+// whole graph. The result combines the three properties of real OSN
+// crawls that drive the paper's evaluation: heavy-tailed degrees
+// (size-biased communities), high clustering (dense blocks), and global
+// connectivity (preferential links). Community membership is recorded
+// in the "community" attribute.
+func PowerLawCommunities(n, minSize, maxSize int, alpha, pin float64, globalLinks int, rng *rand.Rand) *Graph {
+	if minSize < 2 {
+		minSize = 2
+	}
+	if maxSize < minSize {
+		maxSize = minSize
+	}
+	// Draw community sizes until they cover n nodes.
+	var sizes []int
+	covered := 0
+	for covered < n {
+		s := paretoInt(rng, minSize, maxSize, alpha)
+		if covered+s > n {
+			s = n - covered
+			if s < 2 && len(sizes) > 0 {
+				sizes[len(sizes)-1] += s
+				covered = n
+				break
+			}
+		}
+		sizes = append(sizes, s)
+		covered += s
+	}
+	b := NewBuilder(n)
+	community := make([]float64, n)
+	base := 0
+	for ci, s := range sizes {
+		for u := 0; u < s; u++ {
+			community[base+u] = float64(ci)
+		}
+		addBlockEdges(b, base, base, s, s, pin, true, rng)
+		base += s
+	}
+	// Preferential global links knit communities together and fatten
+	// the degree tail.
+	endpoints := make([]Node, 0, 2*n*globalLinks+2*b.NumEdges())
+	for v := 0; v < n; v++ {
+		d := b.Degree(Node(v))
+		if d == 0 {
+			d = 1 // give isolated nodes a chance to be drawn
+		}
+		for i := 0; i < d; i++ {
+			endpoints = append(endpoints, Node(v))
+		}
+	}
+	for v := 0; v < n; v++ {
+		for l := 0; l < globalLinks; l++ {
+			for tries := 0; tries < 16; tries++ {
+				t := endpoints[rng.Intn(len(endpoints))]
+				if t != Node(v) && b.AddEdge(Node(v), t) {
+					endpoints = append(endpoints, Node(v), t)
+					break
+				}
+			}
+		}
+	}
+	g := b.Build()
+	g.SetName(fmt.Sprintf("plc-%d", n))
+	if err := g.SetAttr("community", community); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// paretoInt draws an integer from a truncated Pareto(alpha) on
+// [min, max] by inverse-CDF sampling.
+func paretoInt(rng *rand.Rand, min, max int, alpha float64) int {
+	if alpha <= 1 {
+		alpha = 1.0001
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	lo, hi := float64(min), float64(max)
+	// CDF of truncated Pareto: F(x) = (1-(lo/x)^(a-1)) / (1-(lo/hi)^(a-1))
+	a1 := alpha - 1
+	norm := 1 - math.Pow(lo/hi, a1)
+	x := lo / math.Pow(1-u*norm, 1/a1)
+	s := int(x)
+	if s < min {
+		s = min
+	}
+	if s > max {
+		s = max
+	}
+	return s
+}
+
+// WattsStrogatz returns a small-world graph: a ring lattice where each
+// node connects to its k nearest neighbors (k even), with each edge
+// rewired to a uniform random endpoint with probability beta. High
+// clustering at low beta makes it a useful Facebook-like testbed.
+func WattsStrogatz(n, k int, beta float64, rng *rand.Rand) *Graph {
+	if k >= n {
+		k = n - 1
+	}
+	if k%2 == 1 {
+		k--
+	}
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			if rng.Float64() < beta {
+				// rewire: keep u, choose a random target avoiding loops
+				// and (best effort) duplicates.
+				for tries := 0; tries < 32; tries++ {
+					w := Node(rng.Intn(n))
+					if int(w) != u && !b.HasEdge(Node(u), w) {
+						v = int(w)
+						break
+					}
+				}
+			}
+			b.AddEdge(Node(u), Node(v))
+		}
+	}
+	g := b.Build()
+	g.SetName(fmt.Sprintf("ws-%d-%d", n, k))
+	return g
+}
+
+// PlantedPartition returns a stochastic block model graph with the given
+// community sizes: node pairs inside a community are linked with
+// probability pin, pairs across communities with probability pout. A
+// spanning chain of bridges is added between consecutive communities so
+// the graph is connected even for pout = 0. Community membership is
+// recorded in the "community" attribute.
+func PlantedPartition(sizes []int, pin, pout float64, rng *rand.Rand) *Graph {
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	b := NewBuilder(total)
+	starts := make([]int, len(sizes))
+	base := 0
+	for i, s := range sizes {
+		starts[i] = base
+		base += s
+	}
+	community := make([]float64, total)
+	for i, s := range sizes {
+		for u := 0; u < s; u++ {
+			community[starts[i]+u] = float64(i)
+		}
+		// intra-community edges via geometric skipping
+		addBlockEdges(b, starts[i], starts[i], s, s, pin, true, rng)
+	}
+	for i := range sizes {
+		for j := i + 1; j < len(sizes); j++ {
+			addBlockEdges(b, starts[i], starts[j], sizes[i], sizes[j], pout, false, rng)
+		}
+	}
+	for i := 0; i+1 < len(sizes); i++ {
+		if sizes[i] > 0 && sizes[i+1] > 0 {
+			b.AddEdge(Node(starts[i]+sizes[i]-1), Node(starts[i+1]))
+		}
+	}
+	g := b.Build()
+	g.SetName(fmt.Sprintf("sbm-%d", total))
+	if err := g.SetAttr("community", community); err != nil {
+		panic(err) // lengths match by construction
+	}
+	return g
+}
+
+// addBlockEdges links pairs between node ranges [a,a+na) and [b,b+nb)
+// with probability p. If diag is true the ranges are identical and only
+// pairs u<v are considered.
+func addBlockEdges(bld *Builder, a, b, na, nb int, p float64, diag bool, rng *rand.Rand) {
+	if p <= 0 || na == 0 || nb == 0 {
+		return
+	}
+	if p >= 1 {
+		for u := 0; u < na; u++ {
+			for v := 0; v < nb; v++ {
+				if diag && v <= u {
+					continue
+				}
+				bld.AddEdge(Node(a+u), Node(b+v))
+			}
+		}
+		return
+	}
+	lp := logq(1 - p)
+	var total int64
+	if diag {
+		total = int64(na) * int64(na-1) / 2
+	} else {
+		total = int64(na) * int64(nb)
+	}
+	var idx int64 = -1
+	for {
+		idx += 1 + geomSkip(rng, lp)
+		if idx >= total {
+			return
+		}
+		var u, v int
+		if diag {
+			u, v = unrankPair(idx, na)
+		} else {
+			u = int(idx / int64(nb))
+			v = int(idx % int64(nb))
+		}
+		bld.AddEdge(Node(a+u), Node(b+v))
+	}
+}
+
+// unrankPair maps a linear index in [0, C(n,2)) to the pair (u,v), u<v,
+// in lexicographic order.
+func unrankPair(idx int64, n int) (int, int) {
+	u := 0
+	remaining := idx
+	for {
+		rowLen := int64(n - 1 - u)
+		if remaining < rowLen {
+			return u, u + 1 + int(remaining)
+		}
+		remaining -= rowLen
+		u++
+	}
+}
+
+// Star returns the star graph: node 0 connected to nodes 1..n-1.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, Node(v))
+	}
+	g := b.Build()
+	g.SetName(fmt.Sprintf("star-%d", n))
+	return g
+}
+
+// Cycle returns the n-cycle C_n (n >= 3 for a simple cycle; n < 3
+// degenerates to a path).
+func Cycle(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(Node(v), Node((v+1)%n))
+	}
+	g := b.Build()
+	g.SetName(fmt.Sprintf("cycle-%d", n))
+	return g
+}
+
+// Path returns the path graph P_n: 0-1-2-...-(n-1).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(Node(v), Node(v+1))
+	}
+	g := b.Build()
+	g.SetName(fmt.Sprintf("path-%d", n))
+	return g
+}
+
+// Grid returns the rows×cols 4-neighbor lattice.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) Node { return Node(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	g := b.Build()
+	g.SetName(fmt.Sprintf("grid-%dx%d", rows, cols))
+	return g
+}

@@ -1,0 +1,343 @@
+// Package graph provides the in-memory undirected graph substrate used by
+// the histwalk samplers, estimators and experiment harness.
+//
+// The package implements:
+//
+//   - a compact CSR (compressed sparse row) adjacency representation with
+//     per-node float64 attributes (Graph);
+//   - an incremental, deduplicating Builder;
+//   - synthetic generators (complete, barbell, clustered cliques,
+//     Erdős–Rényi, Barabási–Albert, Watts–Strogatz, planted partition,
+//     star, cycle, path, grid) in generators.go;
+//   - topology statistics (degree moments, clustering coefficients,
+//     triangle counts, connected components) in stats.go;
+//   - plain-text edge-list and attribute I/O in io.go.
+//
+// Graphs are simple (no self-loops, no parallel edges) and undirected:
+// for every stored arc u→v the reverse arc v→u is stored too, matching
+// the access model of the paper (§2.1), which casts directed OSNs into
+// undirected graphs.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node identifies a vertex. Nodes are dense integers in [0, NumNodes).
+// int32 keeps adjacency arrays compact for multi-million-edge graphs.
+type Node = int32
+
+// Graph is an immutable simple undirected graph in CSR form with optional
+// named per-node attributes. The zero value is an empty graph; use a
+// Builder or a generator to construct non-trivial instances.
+type Graph struct {
+	name    string
+	offsets []int64 // len NumNodes+1; neighbor list of v is targets[offsets[v]:offsets[v+1]]
+	targets []Node  // concatenated sorted neighbor lists
+	attrs   map[string][]float64
+}
+
+// Name returns the human-readable dataset name ("" if unset).
+func (g *Graph) Name() string { return g.name }
+
+// SetName sets the human-readable dataset name.
+func (g *Graph) SetName(name string) { g.name = name }
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumEdges returns |E|, the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.targets) / 2 }
+
+// Degree returns k_v, the number of neighbors of v.
+func (g *Graph) Degree(v Node) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice
+// aliases the graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v Node) []Node {
+	return g.targets[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the undirected edge {u,v} exists.
+func (g *Graph) HasEdge(u, v Node) bool {
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	return i < len(ns) && ns[i] == v
+}
+
+// AvgDegree returns the mean degree 2|E|/|V| (0 for the empty graph).
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	return float64(len(g.targets)) / float64(n)
+}
+
+// MaxDegree returns the maximum degree over all nodes (0 for the empty
+// graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.Degree(Node(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinDegree returns the minimum degree over all nodes (0 for the empty
+// graph).
+func (g *Graph) MinDegree() int {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	min := g.Degree(0)
+	for v := 1; v < n; v++ {
+		if d := g.Degree(Node(v)); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// SetAttr attaches (or replaces) a named per-node attribute vector. The
+// slice length must equal NumNodes.
+func (g *Graph) SetAttr(name string, values []float64) error {
+	if len(values) != g.NumNodes() {
+		return fmt.Errorf("graph: attribute %q has %d values, want %d", name, len(values), g.NumNodes())
+	}
+	if g.attrs == nil {
+		g.attrs = make(map[string][]float64)
+	}
+	g.attrs[name] = values
+	return nil
+}
+
+// Attr returns the attribute vector registered under name and whether it
+// exists. The returned slice aliases internal storage.
+func (g *Graph) Attr(name string) ([]float64, bool) {
+	vs, ok := g.attrs[name]
+	return vs, ok
+}
+
+// AttrValue returns node v's value of the named attribute. Unknown
+// attribute names yield 0, false.
+func (g *Graph) AttrValue(name string, v Node) (float64, bool) {
+	vs, ok := g.attrs[name]
+	if !ok {
+		return 0, false
+	}
+	return vs[v], true
+}
+
+// AttrNames returns the sorted list of registered attribute names.
+func (g *Graph) AttrNames() []string {
+	names := make([]string, 0, len(g.attrs))
+	for n := range g.attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DegreeAttr materializes node degrees as a float64 attribute vector.
+// It is the measure function used by the paper's "average degree"
+// aggregate and by the GNRW By-Degree grouper.
+func (g *Graph) DegreeAttr() []float64 {
+	n := g.NumNodes()
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		out[v] = float64(g.Degree(Node(v)))
+	}
+	return out
+}
+
+// TheoreticalStationary returns the stationary distribution of a simple
+// random walk on g: π(v) = k_v / 2|E| (Definition 2 / Eq. 3 of the
+// paper). Degree-0 nodes get probability 0.
+func (g *Graph) TheoreticalStationary() []float64 {
+	n := g.NumNodes()
+	out := make([]float64, n)
+	total := float64(len(g.targets))
+	if total == 0 {
+		return out
+	}
+	for v := 0; v < n; v++ {
+		out[v] = float64(g.Degree(Node(v))) / total
+	}
+	return out
+}
+
+// Validate checks structural invariants (sorted neighbor lists, no
+// self-loops, no duplicates, symmetric adjacency) and returns the first
+// violation found. It is O(|E| log d) and intended for tests.
+func (g *Graph) Validate() error {
+	n := g.NumNodes()
+	if len(g.offsets) > 0 && g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	for v := 0; v < n; v++ {
+		if g.offsets[v+1] < g.offsets[v] {
+			return fmt.Errorf("graph: offsets not monotone at node %d", v)
+		}
+		ns := g.Neighbors(Node(v))
+		for i, u := range ns {
+			if u == Node(v) {
+				return fmt.Errorf("graph: self-loop at node %d", v)
+			}
+			if u < 0 || int(u) >= n {
+				return fmt.Errorf("graph: node %d has out-of-range neighbor %d", v, u)
+			}
+			if i > 0 && ns[i-1] >= u {
+				return fmt.Errorf("graph: neighbors of %d not strictly sorted at index %d", v, i)
+			}
+			if !g.HasEdge(u, Node(v)) {
+				return fmt.Errorf("graph: asymmetric edge %d->%d", v, u)
+			}
+		}
+	}
+	for name, vs := range g.attrs {
+		if len(vs) != n {
+			return fmt.Errorf("graph: attribute %q has %d values, want %d", name, len(vs), n)
+		}
+	}
+	return nil
+}
+
+// Edges invokes fn once per undirected edge {u,v} with u < v. Iteration
+// stops early if fn returns false.
+func (g *Graph) Edges(fn func(u, v Node) bool) {
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(Node(u)) {
+			if Node(u) < v {
+				if !fn(Node(u), v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges and self-loops are silently dropped; node IDs may be added in any
+// order. The zero value is ready to use.
+type Builder struct {
+	n   int
+	adj []map[Node]struct{}
+}
+
+// NewBuilder returns a Builder pre-sized for n nodes. Nodes are
+// implicitly created: AddEdge(u, v) grows the node set to max(u,v)+1.
+func NewBuilder(n int) *Builder {
+	b := &Builder{}
+	b.EnsureNodes(n)
+	return b
+}
+
+// EnsureNodes grows the node set to at least n nodes.
+func (b *Builder) EnsureNodes(n int) {
+	for b.n < n {
+		b.adj = append(b.adj, nil)
+		b.n++
+	}
+}
+
+// NumNodes returns the current number of nodes.
+func (b *Builder) NumNodes() int { return b.n }
+
+// AddEdge inserts the undirected edge {u,v}. Self-loops are ignored.
+// It reports whether the edge was newly added.
+func (b *Builder) AddEdge(u, v Node) bool {
+	if u == v || u < 0 || v < 0 {
+		return false
+	}
+	hi := u
+	if v > hi {
+		hi = v
+	}
+	b.EnsureNodes(int(hi) + 1)
+	if b.adj[u] == nil {
+		b.adj[u] = make(map[Node]struct{})
+	}
+	if _, dup := b.adj[u][v]; dup {
+		return false
+	}
+	b.adj[u][v] = struct{}{}
+	if b.adj[v] == nil {
+		b.adj[v] = make(map[Node]struct{})
+	}
+	b.adj[v][u] = struct{}{}
+	return true
+}
+
+// HasEdge reports whether {u,v} has been added.
+func (b *Builder) HasEdge(u, v Node) bool {
+	if u < 0 || int(u) >= b.n {
+		return false
+	}
+	_, ok := b.adj[u][v]
+	return ok
+}
+
+// Degree returns the current degree of u (0 for unknown nodes).
+func (b *Builder) Degree(u Node) int {
+	if u < 0 || int(u) >= b.n {
+		return 0
+	}
+	return len(b.adj[u])
+}
+
+// NumEdges returns the number of distinct undirected edges added so far.
+func (b *Builder) NumEdges() int {
+	total := 0
+	for _, m := range b.adj {
+		total += len(m)
+	}
+	return total / 2
+}
+
+// Build freezes the accumulated edges into an immutable Graph.
+func (b *Builder) Build() *Graph {
+	g := &Graph{
+		offsets: make([]int64, b.n+1),
+		attrs:   make(map[string][]float64),
+	}
+	var total int64
+	for v := 0; v < b.n; v++ {
+		g.offsets[v] = total
+		total += int64(len(b.adj[v]))
+	}
+	g.offsets[b.n] = total
+	g.targets = make([]Node, total)
+	for v := 0; v < b.n; v++ {
+		dst := g.targets[g.offsets[v]:g.offsets[v+1]]
+		i := 0
+		for u := range b.adj[v] {
+			dst[i] = u
+			i++
+		}
+		sort.Slice(dst, func(a, b int) bool { return dst[a] < dst[b] })
+	}
+	return g
+}
+
+// FromEdges builds a graph with n nodes from an explicit edge list.
+// Out-of-range endpoints grow the node set; duplicates and self-loops are
+// dropped.
+func FromEdges(n int, edges [][2]Node) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,143 @@
+package graph
+
+// Plain-text edge-list and attribute I/O. The format matches the SNAP
+// edge-list convention used by the paper's public benchmark datasets
+// ("1684.edges" etc.): one "u v" pair per line, '#' or '%' comments,
+// arbitrary non-dense node IDs. Attributes use "node value" lines.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses an undirected edge list from r. Node IDs may be
+// arbitrary non-negative integers; they are densely relabeled in
+// ascending order of original ID. The returned map gives original ID →
+// dense Node. Lines starting with '#' or '%' and blank lines are skipped.
+func ReadEdgeList(r io.Reader) (*Graph, map[int64]Node, error) {
+	type rawEdge struct{ u, v int64 }
+	var edges []rawEdge
+	ids := make(map[int64]struct{})
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: edge list line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: edge list line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: edge list line %d: %v", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, nil, fmt.Errorf("graph: edge list line %d: negative node ID", lineNo)
+		}
+		edges = append(edges, rawEdge{u, v})
+		ids[u] = struct{}{}
+		ids[v] = struct{}{}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	sorted := make([]int64, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	remap := make(map[int64]Node, len(sorted))
+	for i, id := range sorted {
+		remap[id] = Node(i)
+	}
+	b := NewBuilder(len(sorted))
+	for _, e := range edges {
+		b.AddEdge(remap[e.u], remap[e.v])
+	}
+	return b.Build(), remap, nil
+}
+
+// WriteEdgeList writes g as "u v" lines (u < v), one undirected edge per
+// line, preceded by a comment header.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# histwalk edge list: %s nodes=%d edges=%d\n",
+		g.Name(), g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	var writeErr error
+	g.Edges(func(u, v Node) bool {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			writeErr = err
+			return false
+		}
+		return true
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}
+
+// ReadAttr parses "node value" lines into an attribute vector for a graph
+// with n nodes (dense IDs). Missing nodes default to 0. Comment and blank
+// lines are skipped.
+func ReadAttr(r io.Reader, n int) ([]float64, error) {
+	out := make([]float64, n)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: attribute line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		v, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: attribute line %d: %v", lineNo, err)
+		}
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: attribute line %d: node %d out of range [0,%d)", lineNo, v, n)
+		}
+		x, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: attribute line %d: %v", lineNo, err)
+		}
+		out[v] = x
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading attributes: %w", err)
+	}
+	return out, nil
+}
+
+// WriteAttr writes an attribute vector as "node value" lines.
+func WriteAttr(w io.Writer, name string, values []float64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# histwalk attribute: %s\n", name); err != nil {
+		return err
+	}
+	for v, x := range values {
+		if _, err := fmt.Fprintf(bw, "%d %g\n", v, x); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

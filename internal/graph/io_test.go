@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := ErdosRenyi(60, 0.1, rng)
+	g.SetName("roundtrip")
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, remap, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node IDs were already dense, but isolated nodes are dropped by the
+	// edge-list format; compare edge structure via remap.
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	g.Edges(func(u, v Node) bool {
+		nu, ok1 := remap[int64(u)]
+		nv, ok2 := remap[int64(v)]
+		if !ok1 || !ok2 || !g2.HasEdge(nu, nv) {
+			t.Fatalf("edge %d-%d lost in round trip", u, v)
+		}
+		return true
+	})
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEdgeListCommentsAndSparseIDs(t *testing.T) {
+	in := `# comment line
+% another comment
+
+1000 7
+7 42
+
+42 1000
+`
+	g, remap, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	// relabel ascending: 7→0, 42→1, 1000→2
+	if remap[7] != 0 || remap[42] != 1 || remap[1000] != 2 {
+		t.Fatalf("remap = %v", remap)
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatal("edges misparsed")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"1\n",      // too few fields
+		"a b\n",    // non-numeric
+		"1 x\n",    // non-numeric second
+		"-1 2\n",   // negative ID
+		"3 -999\n", // negative ID
+	}
+	for _, in := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q parsed without error", in)
+		}
+	}
+}
+
+func TestReadEdgeListEmpty(t *testing.T) {
+	g, remap, err := ReadEdgeList(strings.NewReader("# nothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || len(remap) != 0 {
+		t.Fatal("empty input should give empty graph")
+	}
+}
+
+func TestAttrRoundTripIO(t *testing.T) {
+	vals := []float64{0.5, -2, 3e6, 0}
+	var buf bytes.Buffer
+	if err := WriteAttr(&buf, "score", vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAttr(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("attr[%d] = %v, want %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestReadAttrErrors(t *testing.T) {
+	cases := []string{
+		"0\n",     // too few fields
+		"x 1\n",   // bad node
+		"0 y\n",   // bad value
+		"9 1.0\n", // out of range for n=4
+	}
+	for _, in := range cases {
+		if _, err := ReadAttr(strings.NewReader(in), 4); err == nil {
+			t.Errorf("input %q parsed without error", in)
+		}
+	}
+}
+
+func TestReadAttrDefaultsMissingToZero(t *testing.T) {
+	got, err := ReadAttr(strings.NewReader("2 7.5\n"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[2] != 7.5 {
+		t.Fatalf("attr = %v", got)
+	}
+}

@@ -1,0 +1,248 @@
+package graph
+
+// This file computes the topology statistics reported in Table 1 of the
+// paper (nodes, edges, average degree, average clustering coefficient,
+// number of triangles) plus the connectivity utilities (components,
+// largest connected component, bipartiteness) needed to validate walk
+// convergence preconditions.
+
+import "sort"
+
+// LocalClustering returns the local clustering coefficient of v:
+// the number of edges among N(v) divided by C(k_v, 2). Nodes of degree
+// < 2 have coefficient 0 by convention.
+func (g *Graph) LocalClustering(v Node) float64 {
+	k := g.Degree(v)
+	if k < 2 {
+		return 0
+	}
+	links := g.neighborLinks(v)
+	return 2 * float64(links) / (float64(k) * float64(k-1))
+}
+
+// neighborLinks counts edges among the neighbors of v via sorted-list
+// intersection.
+func (g *Graph) neighborLinks(v Node) int64 {
+	ns := g.Neighbors(v)
+	var links int64
+	for _, u := range ns {
+		// count common neighbors of v and u that are > u to avoid double
+		// counting within this node's neighborhood.
+		links += countIntersectionAbove(ns, g.Neighbors(u), u)
+	}
+	return links
+}
+
+// countIntersectionAbove counts elements common to sorted lists a and b
+// that are strictly greater than floor.
+func countIntersectionAbove(a, b []Node, floor Node) int64 {
+	ia := sort.Search(len(a), func(i int) bool { return a[i] > floor })
+	ib := sort.Search(len(b), func(i int) bool { return b[i] > floor })
+	var count int64
+	for ia < len(a) && ib < len(b) {
+		switch {
+		case a[ia] < b[ib]:
+			ia++
+		case a[ia] > b[ib]:
+			ib++
+		default:
+			count++
+			ia++
+			ib++
+		}
+	}
+	return count
+}
+
+// AvgClustering returns the average of local clustering coefficients over
+// all nodes (the Table 1 "average clustering coefficient").
+func (g *Graph) AvgClustering() float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v := 0; v < n; v++ {
+		sum += g.LocalClustering(Node(v))
+	}
+	return sum / float64(n)
+}
+
+// Triangles returns the number of triangles in the graph (each triangle
+// counted once), the Table 1 "number of triangles".
+func (g *Graph) Triangles() int64 {
+	var wedgesClosed int64
+	for v := 0; v < g.NumNodes(); v++ {
+		wedgesClosed += g.neighborLinks(Node(v))
+	}
+	// Each triangle contributes one closed neighbor-pair at each of its
+	// three corners.
+	return wedgesClosed / 3
+}
+
+// Components returns the connected components as node lists, largest
+// first. Isolated nodes form singleton components.
+func (g *Graph) Components() [][]Node {
+	n := g.NumNodes()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]Node
+	queue := make([]Node, 0, 64)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := int32(len(comps))
+		comp[s] = id
+		queue = append(queue[:0], Node(s))
+		members := []Node{Node(s)}
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range g.Neighbors(v) {
+				if comp[u] < 0 {
+					comp[u] = id
+					queue = append(queue, u)
+					members = append(members, u)
+				}
+			}
+		}
+		comps = append(comps, members)
+	}
+	sort.SliceStable(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	return comps
+}
+
+// IsConnected reports whether the graph has exactly one connected
+// component (the empty graph is vacuously connected).
+func (g *Graph) IsConnected() bool {
+	return g.NumNodes() == 0 || len(g.Components()) == 1
+}
+
+// IsBipartite reports whether the graph is 2-colorable. A simple random
+// walk has a stationary distribution only on connected non-bipartite
+// graphs (§2.2.1), so experiments validate this precondition.
+func (g *Graph) IsBipartite() bool {
+	n := g.NumNodes()
+	color := make([]int8, n) // 0 unvisited, 1 or 2 colored
+	queue := make([]Node, 0, 64)
+	for s := 0; s < n; s++ {
+		if color[s] != 0 {
+			continue
+		}
+		color[s] = 1
+		queue = append(queue[:0], Node(s))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range g.Neighbors(v) {
+				if color[u] == 0 {
+					color[u] = 3 - color[v]
+					queue = append(queue, u)
+				} else if color[u] == color[v] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// LargestComponent returns the subgraph induced by the largest connected
+// component, with nodes relabeled densely (order preserved) and all
+// attributes remapped. If the graph is already connected the receiver is
+// returned unchanged.
+func (g *Graph) LargestComponent() *Graph {
+	comps := g.Components()
+	if len(comps) <= 1 {
+		return g
+	}
+	members := comps[0]
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return g.InducedSubgraph(members)
+}
+
+// InducedSubgraph returns the subgraph induced by the given nodes,
+// relabeled 0..len(nodes)-1 in the order given, with attributes remapped.
+// Duplicate entries in nodes are ignored after the first occurrence.
+func (g *Graph) InducedSubgraph(nodes []Node) *Graph {
+	remap := make(map[Node]Node, len(nodes))
+	kept := make([]Node, 0, len(nodes))
+	for _, v := range nodes {
+		if _, dup := remap[v]; dup {
+			continue
+		}
+		remap[v] = Node(len(kept))
+		kept = append(kept, v)
+	}
+	b := NewBuilder(len(kept))
+	for _, v := range kept {
+		nv := remap[v]
+		for _, u := range g.Neighbors(v) {
+			if nu, ok := remap[u]; ok {
+				b.AddEdge(nv, nu)
+			}
+		}
+	}
+	sub := b.Build()
+	sub.SetName(g.Name() + "-sub")
+	for name, vs := range g.attrs {
+		nvs := make([]float64, len(kept))
+		for i, v := range kept {
+			nvs[i] = vs[v]
+		}
+		if err := sub.SetAttr(name, nvs); err != nil {
+			panic(err) // lengths match by construction
+		}
+	}
+	return sub
+}
+
+// Summary holds the Table 1 row for one dataset.
+type Summary struct {
+	Name          string
+	Nodes         int
+	Edges         int
+	AvgDegree     float64
+	AvgClustering float64
+	Triangles     int64
+}
+
+// Summarize computes the Table 1 statistics for g.
+func (g *Graph) Summarize() Summary {
+	return Summary{
+		Name:          g.Name(),
+		Nodes:         g.NumNodes(),
+		Edges:         g.NumEdges(),
+		AvgDegree:     g.AvgDegree(),
+		AvgClustering: g.AvgClustering(),
+		Triangles:     g.Triangles(),
+	}
+}
+
+// DegreeHistogram returns a map from degree to the number of nodes with
+// that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for v := 0; v < g.NumNodes(); v++ {
+		h[g.Degree(Node(v))]++
+	}
+	return h
+}
+
+// MeanAttr returns the exact population mean of the named attribute; it
+// is the ground truth the estimators are compared against. The second
+// return is false if the attribute is unknown or the graph is empty.
+func (g *Graph) MeanAttr(name string) (float64, bool) {
+	vs, ok := g.attrs[name]
+	if !ok || len(vs) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, x := range vs {
+		sum += x
+	}
+	return sum / float64(len(vs)), true
+}

@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLocalClusteringKnownGraphs(t *testing.T) {
+	// Complete graph: clustering 1 everywhere.
+	k5 := Complete(5)
+	for v := 0; v < 5; v++ {
+		if c := k5.LocalClustering(Node(v)); !almostEq(c, 1, 1e-12) {
+			t.Fatalf("K5 clustering(%d) = %v", v, c)
+		}
+	}
+	// Star: clustering 0 everywhere.
+	s := Star(6)
+	for v := 0; v < 6; v++ {
+		if c := s.LocalClustering(Node(v)); c != 0 {
+			t.Fatalf("star clustering(%d) = %v", v, c)
+		}
+	}
+	// Triangle with a pendant: node 0 in triangle {0,1,2} plus edge 0-3.
+	g := FromEdges(4, [][2]Node{{0, 1}, {1, 2}, {0, 2}, {0, 3}})
+	// node 0 has neighbors {1,2,3}; one of C(3,2)=3 pairs linked.
+	if c := g.LocalClustering(0); !almostEq(c, 1.0/3, 1e-12) {
+		t.Fatalf("clustering(0) = %v, want 1/3", c)
+	}
+	// degree-1 node: 0 by convention.
+	if c := g.LocalClustering(3); c != 0 {
+		t.Fatalf("clustering(pendant) = %v", c)
+	}
+}
+
+func TestTrianglesKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int64
+	}{
+		{"K4", Complete(4), 4},
+		{"K5", Complete(5), 10},
+		{"K6", Complete(6), 20},
+		{"cycle5", Cycle(5), 0},
+		{"star6", Star(6), 0},
+		{"triangle", Cycle(3), 1},
+		{"grid3x3", Grid(3, 3), 0},
+	}
+	for _, c := range cases {
+		if got := c.g.Triangles(); got != c.want {
+			t.Errorf("%s triangles = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAvgClusteringCompleteVsCycle(t *testing.T) {
+	if c := Complete(8).AvgClustering(); !almostEq(c, 1, 1e-12) {
+		t.Fatalf("K8 avg clustering = %v", c)
+	}
+	if c := Cycle(8).AvgClustering(); c != 0 {
+		t.Fatalf("C8 avg clustering = %v", c)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// two components: K3 and an edge, plus an isolated node
+	g := FromEdges(6, [][2]Node{{0, 1}, {1, 2}, {0, 2}, {3, 4}})
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Fatalf("component sizes = %d,%d,%d", len(comps[0]), len(comps[1]), len(comps[2]))
+	}
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	lcc := g.LargestComponent()
+	if lcc.NumNodes() != 3 || lcc.NumEdges() != 3 {
+		t.Fatalf("LCC: %d nodes %d edges", lcc.NumNodes(), lcc.NumEdges())
+	}
+	if err := lcc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargestComponentConnectedIsIdentity(t *testing.T) {
+	g := Complete(5)
+	if g.LargestComponent() != g {
+		t.Fatal("LargestComponent of connected graph should return receiver")
+	}
+}
+
+func TestIsBipartite(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"even cycle", Cycle(6), true},
+		{"odd cycle", Cycle(5), false},
+		{"star", Star(5), true},
+		{"complete", Complete(4), false},
+		{"path", Path(7), true},
+		{"grid", Grid(3, 3), true},
+		{"barbell", Barbell(4), false},
+	}
+	for _, c := range cases {
+		if got := c.g.IsBipartite(); got != c.want {
+			t.Errorf("%s bipartite = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := ClusteredCliques([]int{10, 30, 50})
+	g.SetName("clustered")
+	s := g.Summarize()
+	if s.Name != "clustered" || s.Nodes != 90 || s.Edges != 1707 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Triangles != 23780 {
+		t.Fatalf("summary triangles = %d", s.Triangles)
+	}
+	if !almostEq(s.AvgDegree, 37.933, 0.01) {
+		t.Fatalf("summary avg degree = %v", s.AvgDegree)
+	}
+	if s.AvgClustering < 0.98 {
+		t.Fatalf("summary clustering = %v", s.AvgClustering)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := Star(5).DegreeHistogram()
+	if h[4] != 1 || h[1] != 4 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestTrianglesMatchesNaiveOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		g := ErdosRenyi(40, 0.2, rng)
+		want := naiveTriangles(g)
+		if got := g.Triangles(); got != want {
+			t.Fatalf("trial %d: Triangles = %d, naive = %d", trial, got, want)
+		}
+	}
+}
+
+func naiveTriangles(g *Graph) int64 {
+	var count int64
+	n := g.NumNodes()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !g.HasEdge(Node(a), Node(b)) {
+				continue
+			}
+			for c := b + 1; c < n; c++ {
+				if g.HasEdge(Node(a), Node(c)) && g.HasEdge(Node(b), Node(c)) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestLocalClusteringMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := ErdosRenyi(30, 0.3, rng)
+	for v := 0; v < g.NumNodes(); v++ {
+		ns := g.Neighbors(Node(v))
+		links := 0
+		for i := 0; i < len(ns); i++ {
+			for j := i + 1; j < len(ns); j++ {
+				if g.HasEdge(ns[i], ns[j]) {
+					links++
+				}
+			}
+		}
+		want := 0.0
+		if len(ns) >= 2 {
+			want = 2 * float64(links) / (float64(len(ns)) * float64(len(ns)-1))
+		}
+		if got := g.LocalClustering(Node(v)); !almostEq(got, want, 1e-12) {
+			t.Fatalf("node %d: clustering %v, naive %v", v, got, want)
+		}
+	}
+}

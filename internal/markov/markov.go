@@ -1,0 +1,276 @@
+// Package markov provides exact finite-state Markov-chain analysis for
+// the walkers' order-1 baselines on small graphs: explicit transition
+// matrices (SRW, MHRW, and NB-SRW's directed-edge chain), exact
+// stationary distributions, the fundamental-matrix formula for the
+// asymptotic variance of Definition 3, and spectral-gap/mixing-time
+// diagnostics.
+//
+// CNRW and GNRW are higher-order chains whose state space (node × full
+// circulation memory) is astronomically large, so they have no tractable
+// exact analysis; the exact SRW quantities computed here serve as the
+// reference that their *empirical* asymptotic variances are tested
+// against (Theorems 2 and 4 assert they can only be lower).
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"histwalk/internal/graph"
+	"histwalk/internal/linalg"
+)
+
+// SRWMatrix returns the |V|×|V| transition matrix of the simple random
+// walk on g (Definition 2). Isolated nodes are absorbing (their row is
+// the identity), so pass connected graphs for meaningful results.
+func SRWMatrix(g *graph.Graph) *linalg.Matrix {
+	n := g.NumNodes()
+	p := linalg.NewMatrix(n, n)
+	for v := 0; v < n; v++ {
+		ns := g.Neighbors(graph.Node(v))
+		if len(ns) == 0 {
+			p.Set(v, v, 1)
+			continue
+		}
+		w := 1 / float64(len(ns))
+		for _, u := range ns {
+			p.Set(v, int(u), w)
+		}
+	}
+	return p
+}
+
+// MHRWMatrix returns the transition matrix of the Metropolis–Hastings
+// random walk with uniform target: propose a uniform neighbor w of v,
+// accept with min(1, k_v/k_w), stay otherwise.
+func MHRWMatrix(g *graph.Graph) *linalg.Matrix {
+	n := g.NumNodes()
+	p := linalg.NewMatrix(n, n)
+	for v := 0; v < n; v++ {
+		ns := g.Neighbors(graph.Node(v))
+		if len(ns) == 0 {
+			p.Set(v, v, 1)
+			continue
+		}
+		kv := float64(len(ns))
+		stay := 0.0
+		for _, u := range ns {
+			ku := float64(g.Degree(u))
+			acc := 1.0
+			if ku > kv {
+				acc = kv / ku
+			}
+			p.Set(v, int(u), acc/kv)
+			stay += (1 - acc) / kv
+		}
+		p.Add(v, v, stay)
+	}
+	return p
+}
+
+// EdgeState identifies one directed edge u→v of the NB-SRW edge chain.
+type EdgeState struct {
+	// U and V are the tail and head of the directed edge.
+	U, V graph.Node
+}
+
+// NBSRWEdgeChain returns the transition matrix of the non-backtracking
+// walk on the directed-edge state space (state u→v moves to v→w with w
+// uniform in N(v)\{u}, backtracking only when k_v = 1) together with
+// the state list. The chain has 2|E| states.
+func NBSRWEdgeChain(g *graph.Graph) (*linalg.Matrix, []EdgeState) {
+	var states []EdgeState
+	index := make(map[EdgeState]int)
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(graph.Node(u)) {
+			s := EdgeState{U: graph.Node(u), V: v}
+			index[s] = len(states)
+			states = append(states, s)
+		}
+	}
+	p := linalg.NewMatrix(len(states), len(states))
+	for i, s := range states {
+		ns := g.Neighbors(s.V)
+		if len(ns) == 1 {
+			// forced backtrack
+			p.Set(i, index[EdgeState{U: s.V, V: s.U}], 1)
+			continue
+		}
+		w := 1 / float64(len(ns)-1)
+		for _, t := range ns {
+			if t == s.U {
+				continue
+			}
+			p.Set(i, index[EdgeState{U: s.V, V: t}], w)
+		}
+	}
+	return p, states
+}
+
+// NodeMarginal folds a distribution over edge states down to head
+// nodes: marginal(v) = Σ_{(u,v)} dist(u→v).
+func NodeMarginal(dist []float64, states []EdgeState, n int) []float64 {
+	out := make([]float64, n)
+	for i, s := range states {
+		out[s.V] += dist[i]
+	}
+	return out
+}
+
+// ExactStationary solves πP = π, Σπ = 1 by direct linear solve. The
+// chain must be irreducible (one recurrent class); reducible chains
+// yield ErrSingular or a non-probability solution, which is reported.
+func ExactStationary(p *linalg.Matrix) ([]float64, error) {
+	n := p.Rows()
+	if n != p.Cols() {
+		return nil, errors.New("markov: transition matrix must be square")
+	}
+	if n == 0 {
+		return nil, errors.New("markov: empty chain")
+	}
+	// Build A = Pᵀ − I with the last equation replaced by Σπ = 1.
+	a := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, p.At(j, i))
+		}
+		a.Add(i, i, -1)
+	}
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	pi, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("markov: stationary solve: %w", err)
+	}
+	for _, x := range pi {
+		if x < -1e-9 || math.IsNaN(x) {
+			return nil, fmt.Errorf("markov: chain not irreducible (stationary component %v)", x)
+		}
+	}
+	// clamp tiny negatives from roundoff
+	sum := 0.0
+	for i, x := range pi {
+		if x < 0 {
+			pi[i] = 0
+		}
+		sum += pi[i]
+	}
+	for i := range pi {
+		pi[i] /= sum
+	}
+	return pi, nil
+}
+
+// AsymptoticVariance returns Definition 3's asymptotic variance
+// lim n·Var(μ̂_n) for the estimator μ̂_n = (1/n)Σf(X_t) on the chain
+// with transition matrix P and stationary distribution pi, via the
+// fundamental matrix: with f̃ = f − E_π[f] and h solving
+// (I − P + 1πᵀ)h = f̃,
+//
+//	σ²_∞ = 2·E_π[f̃·h] − E_π[f̃²].
+func AsymptoticVariance(p *linalg.Matrix, pi, f []float64) (float64, error) {
+	n := p.Rows()
+	if len(pi) != n || len(f) != n {
+		return 0, fmt.Errorf("markov: dimension mismatch: chain %d, pi %d, f %d", n, len(pi), len(f))
+	}
+	mu := 0.0
+	for i := range f {
+		mu += pi[i] * f[i]
+	}
+	ft := make([]float64, n)
+	for i := range f {
+		ft[i] = f[i] - mu
+	}
+	// A = I − P + 1πᵀ
+	a := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, -p.At(i, j)+pi[j])
+		}
+		a.Add(i, i, 1)
+	}
+	h, err := linalg.Solve(a, ft)
+	if err != nil {
+		return 0, fmt.Errorf("markov: fundamental matrix solve: %w", err)
+	}
+	var fh, ff float64
+	for i := 0; i < n; i++ {
+		fh += pi[i] * ft[i] * h[i]
+		ff += pi[i] * ft[i] * ft[i]
+	}
+	sigma2 := 2*fh - ff
+	if sigma2 < 0 && sigma2 > -1e-9 {
+		sigma2 = 0 // roundoff guard
+	}
+	return sigma2, nil
+}
+
+// SpectralGap returns 1 − |λ₂| for a chain reversible with respect to
+// pi, computed on the symmetrized matrix S = D^{1/2} P D^{-1/2} with a
+// deflated power iteration. The gap controls the mixing (burn-in) time:
+// small gaps mean long burn-in.
+func SpectralGap(p *linalg.Matrix, pi []float64) (float64, error) {
+	n := p.Rows()
+	if len(pi) != n {
+		return 0, errors.New("markov: dimension mismatch")
+	}
+	s := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if pi[j] <= 0 {
+				if p.At(i, j) != 0 && pi[i] > 0 {
+					return 0, errors.New("markov: chain leaves the support of pi")
+				}
+				continue
+			}
+			s.Set(i, j, math.Sqrt(pi[i]/pi[j])*p.At(i, j))
+		}
+	}
+	// Deflate the top eigenpair (eigenvalue 1, eigenvector sqrt(pi)).
+	u := make([]float64, n)
+	for i := range pi {
+		u[i] = math.Sqrt(pi[i])
+	}
+	linalg.Scale(u, 1/linalg.Norm2(u))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s.Add(i, j, -u[i]*u[j])
+		}
+	}
+	lambda2, _, err := linalg.PowerIteration(s, 10000, 1e-12)
+	if err != nil {
+		return 0, err
+	}
+	gap := 1 - math.Abs(lambda2)
+	if gap < 0 {
+		gap = 0
+	}
+	return gap, nil
+}
+
+// MixingTimeBound returns the standard reversible-chain upper bound on
+// the ε-mixing time, log(1/(ε·π_min)) / gap, in steps.
+func MixingTimeBound(gap, piMin, eps float64) float64 {
+	if gap <= 0 || piMin <= 0 || eps <= 0 {
+		return math.Inf(1)
+	}
+	return math.Log(1/(eps*piMin)) / gap
+}
+
+// DistributionAfter returns the distribution of X_t for the chain
+// started from start, by t left-multiplications.
+func DistributionAfter(p *linalg.Matrix, start []float64, t int) ([]float64, error) {
+	cur := append([]float64(nil), start...)
+	for i := 0; i < t; i++ {
+		next, err := p.VecMul(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}

@@ -1,0 +1,363 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"histwalk/internal/access"
+	"histwalk/internal/core"
+	"histwalk/internal/graph"
+	"histwalk/internal/stats"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func testGraphs() []*graph.Graph {
+	rng := rand.New(rand.NewSource(1))
+	er := graph.ErdosRenyi(18, 0.3, rng).LargestComponent()
+	er.SetName("er18")
+	return []*graph.Graph{
+		graph.Barbell(5),
+		graph.ClusteredCliques([]int{3, 4, 5}),
+		graph.Star(7),
+		er,
+	}
+}
+
+func TestSRWMatrixRowsStochastic(t *testing.T) {
+	for _, g := range testGraphs() {
+		p := SRWMatrix(g)
+		for i := 0; i < p.Rows(); i++ {
+			sum := 0.0
+			for j := 0; j < p.Cols(); j++ {
+				v := p.At(i, j)
+				if v < 0 {
+					t.Fatalf("%s: negative entry", g.Name())
+				}
+				sum += v
+			}
+			if !almostEq(sum, 1, 1e-12) {
+				t.Fatalf("%s: row %d sums to %v", g.Name(), i, sum)
+			}
+		}
+	}
+}
+
+// Eq. (3): the exact stationary distribution of SRW is degree/2|E|.
+func TestSRWExactStationaryMatchesDegrees(t *testing.T) {
+	for _, g := range testGraphs() {
+		p := SRWMatrix(g)
+		pi, err := ExactStationary(p)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		theo := g.TheoreticalStationary()
+		for v := range pi {
+			if !almostEq(pi[v], theo[v], 1e-9) {
+				t.Fatalf("%s: pi(%d) = %v, theory %v", g.Name(), v, pi[v], theo[v])
+			}
+		}
+	}
+}
+
+// MHRW's exact stationary distribution is uniform.
+func TestMHRWExactStationaryUniform(t *testing.T) {
+	for _, g := range testGraphs() {
+		p := MHRWMatrix(g)
+		pi, err := ExactStationary(p)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		want := 1 / float64(g.NumNodes())
+		for v := range pi {
+			if !almostEq(pi[v], want, 1e-9) {
+				t.Fatalf("%s: pi(%d) = %v, want uniform %v", g.Name(), v, pi[v], want)
+			}
+		}
+	}
+}
+
+// The NB-SRW edge chain's stationary node marginal is degree/2|E|
+// (Lee et al. 2012), verified exactly.
+func TestNBSRWEdgeChainNodeMarginal(t *testing.T) {
+	for _, g := range testGraphs() {
+		if g.MinDegree() < 1 {
+			continue
+		}
+		p, states := NBSRWEdgeChain(g)
+		if p.Rows() != 2*g.NumEdges() {
+			t.Fatalf("%s: edge chain has %d states, want %d", g.Name(), p.Rows(), 2*g.NumEdges())
+		}
+		pi, err := ExactStationary(p)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		marg := NodeMarginal(pi, states, g.NumNodes())
+		theo := g.TheoreticalStationary()
+		for v := range marg {
+			if !almostEq(marg[v], theo[v], 1e-9) {
+				t.Fatalf("%s: node marginal(%d) = %v, theory %v", g.Name(), v, marg[v], theo[v])
+			}
+		}
+	}
+}
+
+// The fundamental-matrix asymptotic variance must agree with the
+// covariance-series definition, checked against a brute-force partial
+// sum on a small chain.
+func TestAsymptoticVarianceAgainstSeries(t *testing.T) {
+	g := graph.Barbell(4)
+	p := SRWMatrix(g)
+	pi, err := ExactStationary(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.DegreeAttr()
+	got, err := AsymptoticVariance(p, pi, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// brute force: sigma2 = E[f̃²] + 2 Σ_{k≥1} E_π[f̃(X0) f̃(Xk)]
+	mu := 0.0
+	for i := range f {
+		mu += pi[i] * f[i]
+	}
+	n := len(f)
+	ft := make([]float64, n)
+	for i := range f {
+		ft[i] = f[i] - mu
+	}
+	sigma2 := 0.0
+	for i := 0; i < n; i++ {
+		sigma2 += pi[i] * ft[i] * ft[i]
+	}
+	// iterate P^k f̃
+	cur := append([]float64(nil), ft...)
+	for k := 1; k < 20000; k++ {
+		next, err := p.MulVec(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+		term := 0.0
+		for i := 0; i < n; i++ {
+			term += pi[i] * ft[i] * cur[i]
+		}
+		sigma2 += 2 * term
+		if math.Abs(term) < 1e-14 && k > 100 {
+			break
+		}
+	}
+	if !almostEq(got, sigma2, 1e-6*math.Max(1, math.Abs(sigma2))) {
+		t.Fatalf("fundamental-matrix sigma2 %v vs series %v", got, sigma2)
+	}
+}
+
+// For an i.i.d. chain (complete graph with self-transitions via MHRW on
+// a regular graph), the asymptotic variance reduces to the plain
+// variance... use the simplest exact case: P with identical rows = π.
+func TestAsymptoticVarianceIIDChain(t *testing.T) {
+	n := 5
+	pi := []float64{0.1, 0.2, 0.3, 0.25, 0.15}
+	p := SRWMatrix(graph.Complete(n)) // placeholder, overwritten below
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p.Set(i, j, pi[j])
+		}
+	}
+	f := []float64{1, 2, 3, 4, 5}
+	got, err := AsymptoticVariance(p, pi, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, varf := 0.0, 0.0
+	for i := range f {
+		mu += pi[i] * f[i]
+	}
+	for i := range f {
+		varf += pi[i] * (f[i] - mu) * (f[i] - mu)
+	}
+	if !almostEq(got, varf, 1e-9) {
+		t.Fatalf("iid sigma2 = %v, want Var_pi(f) = %v", got, varf)
+	}
+}
+
+// Theorem 2, exact reference: CNRW's and GNRW's *empirical* asymptotic
+// variances (batch means over long walks) must not exceed the *exact*
+// SRW asymptotic variance, and SRW's own empirical estimate must match
+// the exact value.
+func TestTheorem2AgainstExactSRWVariance(t *testing.T) {
+	g := graph.Barbell(6)
+	p := SRWMatrix(g)
+	pi, err := ExactStationary(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// measure: indicator of being in G2 — the slowest-mixing function
+	f := make([]float64, g.NumNodes())
+	for v := 6; v < 12; v++ {
+		f[v] = 1
+	}
+	exact, err := AsymptoticVariance(p, pi, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empirical := func(factory core.Factory) float64 {
+		steps := 400000
+		rng := rand.New(rand.NewSource(17))
+		sim := access.NewSimulator(g)
+		w := factory.New(sim, 0, rng)
+		series := make([]float64, steps)
+		for s := 0; s < steps; s++ {
+			v, err := w.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			series[s] = f[v]
+		}
+		bm, err := stats.BatchMeansVariance(series, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bm
+	}
+	srwEmp := empirical(core.SRWFactory())
+	if srwEmp < 0.4*exact || srwEmp > 2.5*exact {
+		t.Fatalf("SRW empirical asym variance %v far from exact %v", srwEmp, exact)
+	}
+	cnrwEmp := empirical(core.CNRWFactory())
+	if cnrwEmp > exact {
+		t.Fatalf("Theorem 2 violated: CNRW empirical %v > exact SRW %v", cnrwEmp, exact)
+	}
+	gnrwEmp := empirical(core.GNRWFactory(core.HashGrouper{M: 3}))
+	if gnrwEmp > exact {
+		t.Fatalf("Theorem 4 violated: GNRW empirical %v > exact SRW %v", gnrwEmp, exact)
+	}
+}
+
+// Detailed balance: SRW is reversible with respect to the degree
+// distribution, MHRW with respect to the uniform distribution — exact
+// checks on every test topology.
+func TestDetailedBalance(t *testing.T) {
+	for _, g := range testGraphs() {
+		n := g.NumNodes()
+		srw := SRWMatrix(g)
+		piS := g.TheoreticalStationary()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				lhs := piS[i] * srw.At(i, j)
+				rhs := piS[j] * srw.At(j, i)
+				if !almostEq(lhs, rhs, 1e-12) {
+					t.Fatalf("%s: SRW detailed balance broken at (%d,%d): %v vs %v",
+						g.Name(), i, j, lhs, rhs)
+				}
+			}
+		}
+		mhrw := MHRWMatrix(g)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !almostEq(mhrw.At(i, j), mhrw.At(j, i), 1e-12) {
+					t.Fatalf("%s: MHRW not symmetric at (%d,%d)", g.Name(), i, j)
+				}
+			}
+		}
+	}
+}
+
+// Exact transient distributions: DistributionAfter must agree with
+// repeated VecMul and stay a probability vector.
+func TestDistributionAfterIsStochastic(t *testing.T) {
+	g := graph.Barbell(4)
+	p := SRWMatrix(g)
+	start := make([]float64, g.NumNodes())
+	start[0] = 1
+	for _, steps := range []int{0, 1, 5, 50} {
+		d, err := DistributionAfter(p, start, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, x := range d {
+			if x < -1e-15 {
+				t.Fatalf("negative probability %v after %d steps", x, steps)
+			}
+			sum += x
+		}
+		if !almostEq(sum, 1, 1e-9) {
+			t.Fatalf("distribution after %d steps sums to %v", steps, sum)
+		}
+	}
+}
+
+func TestSpectralGapOrdersTopologies(t *testing.T) {
+	// The barbell mixes far slower than the complete graph.
+	well := graph.Complete(10)
+	poor := graph.Barbell(5)
+	gapWell := gapOf(t, well)
+	gapPoor := gapOf(t, poor)
+	if gapWell <= gapPoor {
+		t.Fatalf("complete-graph gap %v should exceed barbell gap %v", gapWell, gapPoor)
+	}
+	if gapPoor <= 0 {
+		t.Fatalf("barbell gap = %v, want > 0", gapPoor)
+	}
+	// K_n SRW: eigenvalues 1 and −1/(n−1) → gap = 1 − 1/(n−1).
+	if !almostEq(gapWell, 1-1.0/9, 1e-6) {
+		t.Fatalf("K10 gap = %v, want %v", gapWell, 1-1.0/9)
+	}
+}
+
+func gapOf(t *testing.T, g *graph.Graph) float64 {
+	t.Helper()
+	p := SRWMatrix(g)
+	pi, err := ExactStationary(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap, err := SpectralGap(p, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gap
+}
+
+func TestMixingTimeBound(t *testing.T) {
+	if !math.IsInf(MixingTimeBound(0, 0.1, 0.01), 1) {
+		t.Fatal("zero gap should give infinite bound")
+	}
+	b := MixingTimeBound(0.5, 0.1, 0.01)
+	want := math.Log(1/(0.01*0.1)) / 0.5
+	if !almostEq(b, want, 1e-12) {
+		t.Fatalf("bound = %v, want %v", b, want)
+	}
+}
+
+func TestDistributionAfterConverges(t *testing.T) {
+	g := graph.Complete(6)
+	p := SRWMatrix(g)
+	start := make([]float64, 6)
+	start[0] = 1
+	dist, err := DistributionAfter(p, start, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range dist {
+		if !almostEq(x, 1.0/6, 1e-6) {
+			t.Fatalf("distribution after 60 steps = %v", dist)
+		}
+	}
+}
+
+func TestExactStationaryErrors(t *testing.T) {
+	if _, err := ExactStationary(SRWMatrix(graph.NewBuilder(0).Build())); err == nil {
+		t.Fatal("empty chain accepted")
+	}
+	// disconnected graph: reducible chain must be rejected
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	if _, err := ExactStationary(SRWMatrix(b.Build())); err == nil {
+		t.Fatal("reducible chain accepted")
+	}
+}
