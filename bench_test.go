@@ -275,6 +275,61 @@ func BenchmarkAblationGroupCount(b *testing.B) {
 	}
 }
 
+// --- trial-execution engine benchmarks ---
+
+// benchmarkFigureEstimation regenerates a paper-scale estimation figure
+// (FullConfig's 600 trials per algorithm) at a fixed worker count. The
+// serial/parallel pair quantifies the engine's speedup; both produce
+// bit-identical figures, which the parallel variant asserts.
+func benchmarkFigureEstimation(b *testing.B, workers int, check bool) {
+	cfg := benchConfig()
+	g := histwalk.GooglePlusN(cfg.GPlusNodes, cfg.Seed)
+	mk := func(w int) *histwalk.Figure {
+		fig, err := histwalk.EstimationFigure(histwalk.EstimationConfig{
+			ID: "bench-engine", Title: "engine speedup", Graph: g, Attr: "degree",
+			Factories: []histwalk.Factory{histwalk.SRWFactory(), histwalk.CNRWFactory()},
+			Budgets:   []int{250, 500, 1000},
+			Trials:    600, // FullConfig.EstimationTrials: paper scale
+			Seed:      cfg.Seed,
+			Workers:   w,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fig
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig := mk(workers)
+		if check {
+			b.StopTimer()
+			serial := mk(1)
+			for si := range fig.Series {
+				for yi := range fig.Series[si].Y {
+					if fig.Series[si].Y[yi] != serial.Series[si].Y[yi] {
+						b.Fatalf("parallel figure diverged from serial at series %d point %d", si, yi)
+					}
+				}
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkFigureEstimationSerial is the Workers=1 baseline.
+func BenchmarkFigureEstimationSerial(b *testing.B) {
+	benchmarkFigureEstimation(b, 1, false)
+}
+
+// BenchmarkFigureEstimationParallel runs one worker per core and
+// verifies the figure matches the serial baseline bit for bit. Compare
+// its ns/op against BenchmarkFigureEstimationSerial for the speedup
+// (near-linear on ≥ 4 cores; trials are embarrassingly parallel and
+// share no mutable state).
+func BenchmarkFigureEstimationParallel(b *testing.B) {
+	benchmarkFigureEstimation(b, 0, true)
+}
+
 // --- per-step micro-benchmarks ---
 
 func benchWalkerSteps(b *testing.B, mk func(c histwalk.Client, s histwalk.Node, r *rand.Rand) histwalk.Walker) {

@@ -6,13 +6,15 @@
 //
 // Usage:
 //
-//	repro [-quick] [-seed N] [-csv DIR]
+//	repro [-quick] [-seed N] [-csv DIR] [-workers N]
 //	      [-only table1,fig6,fig7,fig7d,fig8,fig9,fig10,fig10u,fig11,thm2,thm3,ablations]
 //
 // With -quick the bench-scale configuration is used (seconds per
 // figure); the default is the full configuration recorded in
 // EXPERIMENTS.md (minutes in total). With -csv every figure and table
-// is additionally written as a CSV file into DIR.
+// is additionally written as a CSV file into DIR. -workers selects the
+// trial-execution engine's pool size (0 = one worker per core); for a
+// fixed seed the output is bit-identical for every worker count.
 package main
 
 import (
@@ -31,6 +33,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use the quick (bench-scale) configuration")
 	seed := flag.Int64("seed", 1, "master seed for all experiments")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	workers := flag.Int("workers", 0, "trial-execution workers per experiment (0 = one per core)")
 	flag.StringVar(&csvDir, "csv", "", "also write each figure/table as CSV into this directory")
 	flag.Parse()
 
@@ -39,6 +42,7 @@ func main() {
 		cfg = experiment.QuickConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -154,7 +158,7 @@ func main() {
 				steps = 120000
 			}
 			tb, err := experiment.Theorem2Table(experiment.Theorem2Config{
-				Steps: steps, Seed: cfg.Seed,
+				Steps: steps, Seed: cfg.Seed, Workers: cfg.Workers,
 			})
 			if err != nil {
 				return err
@@ -178,7 +182,7 @@ func main() {
 				trials = 30
 			}
 			tb, err := experiment.AblationCirculationTable(experiment.AblationCirculationConfig{
-				CliqueSize: 10, Trials: trials, Seed: cfg.Seed,
+				CliqueSize: 10, Trials: trials, Seed: cfg.Seed, Workers: cfg.Workers,
 			})
 			if err != nil {
 				return err

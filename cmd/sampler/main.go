@@ -7,6 +7,13 @@
 //
 //	sampler -dataset yelp -algo gnrw-reviews -budget 1000 -attr reviews_count
 //	sampler -edges graph.txt -algo cnrw -budget 500
+//	sampler -dataset gplus -algo cnrw -budget 500 -chains 8 -workers 4
+//
+// With -chains N > 1 the session runs N independent walkers (each with
+// its own cache and budget, the practical OSN deployment mode) on the
+// parallel trial-execution engine, merges their estimates and reports
+// the Gelman–Rubin convergence diagnostic; -workers caps the pool size
+// (0 = one worker per chain) without changing any result.
 //
 // Algorithms: srw, mhrw, nbsrw, cnrw, cnrw-node, nbcnrw, gnrw-degree,
 // gnrw-md5, gnrw-reviews.
@@ -20,6 +27,7 @@ import (
 	"strings"
 
 	"histwalk"
+	"histwalk/internal/ensemble"
 	"histwalk/internal/experiment"
 )
 
@@ -34,6 +42,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	groups := flag.Int("groups", 5, "number of strata for GNRW")
 	maxSteps := flag.Int("maxsteps", 0, "step cap (0 = 200×budget)")
+	chains := flag.Int("chains", 1, "independent parallel walkers (each with its own budget)")
+	workers := flag.Int("workers", 0, "worker pool size for -chains > 1 (0 = one per chain)")
 	flag.Parse()
 
 	g, err := loadGraph(*edges, *datasetName, *seed)
@@ -47,6 +57,11 @@ func main() {
 
 	fmt.Printf("dataset %s: %d nodes, %d edges, avg degree %.2f\n",
 		g.Name(), g.NumNodes(), g.NumEdges(), g.AvgDegree())
+
+	if *chains > 1 {
+		runEnsemble(g, factory, *attr, *budget, *maxSteps, *chains, *workers, *seed)
+		return
+	}
 
 	rng := newRand(*seed)
 	start := histwalk.Node(rng.Intn(g.NumNodes()))
@@ -97,6 +112,50 @@ func main() {
 	fmt.Printf("cache hits       %d\n", sim.TotalRequests()-sim.QueryCost())
 	fmt.Printf("AVG(%s)          estimate %.4f, truth %.4f, relative error %.4f\n",
 		*attr, est, truth, histwalk.RelativeError(est, truth))
+}
+
+// runEnsemble runs the multi-chain session: chains independent walkers
+// fan out on the trial-execution engine, each with its own simulator
+// cache and unique-query budget, and the estimates are merged.
+func runEnsemble(g *histwalk.Graph, factory histwalk.Factory, attr string, budget, maxSteps, chains, workers int, seed int64) {
+	design := experiment.DesignFor(factory.Name)
+	res, err := ensemble.Run(ensemble.Config{
+		Graph:            g,
+		Factory:          factory,
+		Design:           design,
+		Attr:             attr,
+		Chains:           chains,
+		BudgetPerChain:   budget,
+		MaxStepsPerChain: maxSteps,
+		Seed:             seed,
+		Parallelism:      workers,
+	})
+	if err != nil {
+		fail(err)
+	}
+	truth := g.AvgDegree()
+	if attr != "degree" {
+		truth, _ = g.MeanAttr(attr)
+	}
+	fmt.Printf("algorithm        %s (estimator design: %s)\n", factory.Name, design)
+	fmt.Printf("chains           %d × budget %d (workers %s)\n", chains, budget, workersLabel(workers))
+	fmt.Printf("total steps      %d\n", res.TotalSteps)
+	fmt.Printf("unique queries   %d (per-chain caches)\n", res.TotalQueries)
+	for i, e := range res.PerChain {
+		fmt.Printf("chain %-3d        estimate %.4f\n", i, e)
+	}
+	if res.GelmanRubin > 0 {
+		fmt.Printf("Gelman-Rubin R^  %.4f\n", res.GelmanRubin)
+	}
+	fmt.Printf("AVG(%s)          pooled estimate %.4f, truth %.4f, relative error %.4f\n",
+		attr, res.Estimate, truth, histwalk.RelativeError(res.Estimate, truth))
+}
+
+func workersLabel(w int) string {
+	if w <= 0 {
+		return "auto"
+	}
+	return fmt.Sprintf("%d", w)
 }
 
 func loadGraph(edges, name string, seed int64) (*histwalk.Graph, error) {

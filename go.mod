@@ -1,0 +1,3 @@
+module histwalk
+
+go 1.24

@@ -18,8 +18,12 @@
 //     as the paper's query-cost metric does;
 //   - unbiased estimators for population aggregates under
 //     degree-proportional (SRW-family) and uniform (MHRW) sampling;
+//   - a deterministic worker-pool trial-execution engine (Engine, Job,
+//     RunParallel) that fans independent seeded trials out over all
+//     cores while keeping results bit-identical for any worker count;
 //   - the full experiment harness that regenerates every table and
-//     figure of the paper's evaluation.
+//     figure of the paper's evaluation, with every trial loop running
+//     on the engine (cmd/repro -workers selects the pool size).
 //
 // Quick start:
 //
@@ -44,6 +48,7 @@ import (
 
 	"histwalk/internal/access"
 	"histwalk/internal/core"
+	"histwalk/internal/engine"
 	"histwalk/internal/estimate"
 	"histwalk/internal/graph"
 )
@@ -296,3 +301,33 @@ var MeanFromPath = estimate.MeanFromPath
 
 // RelativeError returns |est−truth|/|truth|.
 var RelativeError = estimate.RelativeError
+
+// Parallel trial execution (see internal/engine).
+type (
+	// Engine is the deterministic worker-pool trial runner every
+	// experiment loop submits to.
+	Engine = engine.Engine
+	// EngineOptions configures an Engine (worker count, progress
+	// callback).
+	EngineOptions = engine.Options
+	// Job specifies a batch of independent seeded walk trials.
+	Job = engine.Job
+	// TrialResult is one trial's budget-checkpoint snapshots.
+	TrialResult = engine.TrialResult
+)
+
+// NewEngine returns an Engine with the given options.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// RunParallel runs a Job's trials on a fresh pool of the given size
+// (0 = GOMAXPROCS). For any fixed Job the results are bit-identical
+// regardless of worker count.
+var RunParallel = engine.RunParallel
+
+// TrialSeed derives trial t's RNG seed from a master seed and a stream
+// identifier via a splitmix64 mixer (scheduling-independent).
+var TrialSeed = engine.TrialSeed
+
+// StreamID hashes experiment labels into a seed-stream identifier, so
+// experiments sharing a master seed draw disjoint seed sequences.
+var StreamID = engine.StreamID

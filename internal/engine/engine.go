@@ -1,0 +1,158 @@
+// Package engine is the trial-execution substrate of the experiment
+// harness: a deterministic worker pool that fans independent seeded
+// walk trials out over goroutines and returns their results in trial
+// order, bit-identical regardless of worker count or completion order.
+//
+// Determinism comes from two rules. First, every trial's RNG seed is a
+// pure function of (master seed, stream, trial index) — see TrialSeed —
+// never of scheduling. Second, each trial runs against its own private
+// access.Simulator (walkers never share mutable state), so no locking
+// is needed on the hot path and results land in a pre-sized slice slot
+// owned exclusively by their trial index.
+//
+// The experiment and ensemble packages submit all their trial loops
+// here; cmd/repro and cmd/sampler expose the pool size as -workers.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the fan-out: at most Workers trials run
+	// concurrently. Zero or negative selects runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when non-nil, is called after each completed trial with
+	// the number of trials finished so far and the total. Calls may come
+	// from multiple goroutines but never concurrently.
+	Progress func(done, total int)
+}
+
+// Engine is a reusable worker-pool runner. The zero value is valid and
+// runs with GOMAXPROCS workers; see New for configured instances.
+// An Engine is safe for concurrent use.
+type Engine struct {
+	opts Options
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine { return &Engine{opts: opts} }
+
+// Workers returns the effective pool size.
+func (e *Engine) Workers() int {
+	if e.opts.Workers > 0 {
+		return e.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Each runs fn(ctx, i) for every i in [0, n) on the worker pool and
+// waits for completion. The first error (by lowest trial index among
+// failed trials) cancels the remaining work and is returned; a
+// cancellation of ctx likewise stops the pool and returns ctx's error.
+// fn must confine its writes to state owned by index i.
+func (e *Engine) Each(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := e.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+			if e.opts.Progress != nil {
+				e.opts.Progress(i+1, n)
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64 // dispatch counter
+		mu       sync.Mutex   // guards firstErr/firstIdx/done
+		firstErr error
+		firstIdx = -1
+		done     int
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					mu.Lock()
+					if firstIdx < 0 || i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				if e.opts.Progress != nil {
+					mu.Lock()
+					done++
+					e.opts.Progress(done, n)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Run executes job.Trials independent seeded trials on the pool and
+// returns their results indexed by trial. Trial t's seed is
+// TrialSeed(job.Seed, job.Stream, t), so the returned slice is
+// identical for any worker count.
+func (e *Engine) Run(ctx context.Context, job Job) ([]*TrialResult, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]*TrialResult, job.Trials)
+	err := e.Each(ctx, job.Trials, func(_ context.Context, t int) error {
+		res, err := RunTrial(job, TrialSeed(job.Seed, job.Stream, t))
+		if err != nil {
+			return err
+		}
+		out[t] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunParallel is the convenience entry point: it runs job on a fresh
+// pool of the given size (0 = GOMAXPROCS) with no progress callback.
+func RunParallel(ctx context.Context, workers int, job Job) ([]*TrialResult, error) {
+	return New(Options{Workers: workers}).Run(ctx, job)
+}

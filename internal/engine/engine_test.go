@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"histwalk/internal/core"
+	"histwalk/internal/graph"
+)
+
+func testGraph() *graph.Graph {
+	rng := rand.New(rand.NewSource(17))
+	g := graph.PlantedPartition([]int{25, 25, 25}, 0.4, 0.03, rng).LargestComponent()
+	g.SetName("sbm75")
+	return g
+}
+
+func testJob(g *graph.Graph) Job {
+	return Job{
+		Graph:   g,
+		Factory: core.CNRWFactory(),
+		Attr:    "degree",
+		Budgets: []int{10, 20, 30},
+		Trials:  40,
+		Seed:    7,
+		Stream:  StreamID("engine-test"),
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts is the engine's core contract:
+// for a fixed master seed, the result slice is bit-identical whether
+// trials run serially or on a saturated pool.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := testGraph()
+	job := testJob(g)
+	serial, err := New(Options{Workers: 1}).Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		parallel, err := New(Options{Workers: workers}).Run(context.Background(), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("Workers=%d results differ from serial execution", workers)
+		}
+	}
+}
+
+// TestRunRecordsPathDeterministically exercises the RecordPath variant
+// under contention too: full visit sequences must also be identical.
+func TestRunRecordsPathDeterministically(t *testing.T) {
+	g := testGraph()
+	job := testJob(g)
+	job.RecordPath = true
+	job.Trials = 12
+	a, err := New(Options{Workers: 1}).Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Workers: 6}).Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("recorded paths differ across worker counts")
+	}
+}
+
+func TestTrialSeedStreamsDisjoint(t *testing.T) {
+	// Two experiments sharing a master seed but labeled differently must
+	// draw fully distinct trial-seed sequences — the additive scheme
+	// (seed + trial) this replaces collided whenever offsets overlapped.
+	const master = 1
+	sa, sb := StreamID("estimation", "fig6"), StreamID("estimation", "fig7d")
+	if sa == sb {
+		t.Fatal("distinct labels hashed to the same stream")
+	}
+	seen := make(map[int64]string)
+	for trial := 0; trial < 10000; trial++ {
+		a := TrialSeed(master, sa, trial)
+		b := TrialSeed(master, sb, trial)
+		if a == b {
+			t.Fatalf("trial %d: seed collision across streams", trial)
+		}
+		for seed, origin := range map[int64]string{a: "A", b: "B"} {
+			if prev, dup := seen[seed]; dup {
+				t.Fatalf("seed %d drawn twice (%s then %s)", seed, prev, origin)
+			}
+			seen[seed] = origin
+		}
+	}
+}
+
+func TestTrialSeedSharedWithinStream(t *testing.T) {
+	// Algorithms compared within one figure submit Jobs with equal
+	// Stream, and must see identical per-trial seeds (paired starts).
+	s := StreamID("estimation", "fig6")
+	for trial := 0; trial < 100; trial++ {
+		if TrialSeed(3, s, trial) != TrialSeed(3, s, trial) {
+			t.Fatal("TrialSeed is not a pure function")
+		}
+	}
+}
+
+func TestStreamIDSeparatesConcatenations(t *testing.T) {
+	if StreamID("ab", "c") == StreamID("a", "bc") {
+		t.Fatal("StreamID must separate label boundaries")
+	}
+	if StreamID() == StreamID("") {
+		t.Fatal("empty label must differ from no labels")
+	}
+}
+
+func TestEachFirstErrorWins(t *testing.T) {
+	// Every trial fails; the reported error must deterministically be
+	// the lowest-index one among observed failures — with Workers=1,
+	// exactly index 0.
+	errBoom := errors.New("boom")
+	err := New(Options{Workers: 1}).Each(context.Background(), 10, func(_ context.Context, i int) error {
+		return fmt.Errorf("trial %d: %w", i, errBoom)
+	})
+	if err == nil || !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v", err)
+	}
+	if err.Error() != "trial 0: boom" {
+		t.Fatalf("serial first error = %q, want trial 0", err)
+	}
+	// Parallel: some error must surface and cancel the rest.
+	var ran atomic.Int64
+	err = New(Options{Workers: 4}).Each(context.Background(), 1000, func(_ context.Context, i int) error {
+		ran.Add(1)
+		return fmt.Errorf("trial %d: %w", i, errBoom)
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("error did not cancel remaining work (ran %d)", n)
+	}
+}
+
+func TestEachContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := New(Options{Workers: 2}).Each(ctx, 100000, func(ctx context.Context, i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 100000 {
+		t.Fatal("cancellation did not stop the pool")
+	}
+}
+
+func TestEachProgressCoversAllTrials(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		lastDone := 0
+		e := New(Options{
+			Workers: workers,
+			Progress: func(done, total int) {
+				calls.Add(1)
+				if total != 25 || done < 1 || done > 25 {
+					t.Errorf("progress(%d, %d) out of range", done, total)
+				}
+				if done <= lastDone {
+					t.Errorf("progress not monotone: %d after %d", done, lastDone)
+				}
+				lastDone = done
+			},
+		})
+		if err := e.Each(context.Background(), 25, func(_ context.Context, _ int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if calls.Load() != 25 {
+			t.Fatalf("workers=%d: progress called %d times, want 25", workers, calls.Load())
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := testGraph()
+	cases := []Job{
+		{Factory: core.SRWFactory(), Budgets: []int{5}, Trials: 1},              // nil graph
+		{Graph: g, Budgets: []int{5}, Trials: 1},                                // nil factory
+		{Graph: g, Factory: core.SRWFactory(), Budgets: []int{5}},               // zero trials
+		{Graph: g, Factory: core.SRWFactory(), Trials: 1},                       // no budgets
+		{Graph: g, Factory: core.SRWFactory(), Budgets: []int{9, 3}, Trials: 1}, // descending
+	}
+	for i, job := range cases {
+		if _, err := New(Options{}).Run(context.Background(), job); err == nil {
+			t.Fatalf("case %d: invalid job accepted", i)
+		}
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if w := New(Options{}).Workers(); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+	if w := New(Options{Workers: 3}).Workers(); w != 3 {
+		t.Fatalf("workers = %d, want 3", w)
+	}
+}
+
+func TestRunParallelConvenience(t *testing.T) {
+	g := testGraph()
+	job := testJob(g)
+	job.Trials = 8
+	a, err := RunParallel(context.Background(), 0, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunParallel(context.Background(), 3, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RunParallel results depend on worker count")
+	}
+}
+
+// TestTrialSimulatorIsPrivate asserts the no-shared-state invariant the
+// engine's lock-free hot path rests on: concurrent trials of one Job
+// must each see a fresh cache (QueryCost starting at zero), which can
+// only hold if every trial owns its Simulator.
+func TestTrialSimulatorIsPrivate(t *testing.T) {
+	g := testGraph()
+	job := testJob(g)
+	job.Budgets = []int{15}
+	job.Trials = 64
+	results, err := New(Options{Workers: 8}).Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		// A shared simulator would accumulate cost across trials far
+		// beyond one trial's budget regime (or saturate and freeze at
+		// unrelated values); a private one lands at the budget, give or
+		// take the final step's new neighbors.
+		if res.QueryCost < job.Budgets[0] || res.QueryCost > g.NumNodes() {
+			t.Fatalf("trial %d: query cost %d outside private-simulator range", i, res.QueryCost)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package engine
+
+// Deterministic seed derivation. Every trial's RNG seed is a pure
+// function of (master seed, stream, trial index), so experiment outputs
+// are bit-identical regardless of worker count or completion order, and
+// two experiments sharing a master seed but carrying distinct stream
+// labels can never collide the way additive schemes (seed + trial) do.
+
+// splitmix64 is the finalizer of Steele et al.'s SplitMix generator: a
+// bijective avalanche mixer whose outputs pass BigCrush even on
+// sequential inputs, which is exactly the property needed to turn small
+// structured integers (trial indices) into independent-looking seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// TrialSeed derives the RNG seed of one trial from the experiment's
+// master seed, a stream identifier (see StreamID) and the trial index.
+// Trials of the same stream share their seed sequence across algorithms
+// — the paired-start property the estimation figures rely on — while
+// different streams draw disjoint-looking sequences even under the same
+// master seed.
+func TrialSeed(master int64, stream uint64, trial int) int64 {
+	h := splitmix64(uint64(master))
+	h = splitmix64(h ^ stream)
+	h = splitmix64(h ^ uint64(trial))
+	return int64(h)
+}
+
+// StreamID hashes a sequence of labels (figure ID, experiment phase,
+// ...) into a seed-stream identifier via FNV-1a with a separator byte,
+// so ("ab","c") and ("a","bc") map to different streams.
+func StreamID(parts ...string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime
+		}
+		h ^= 0xff
+		h *= prime
+	}
+	return h
+}

@@ -11,14 +11,15 @@
 package ensemble
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"histwalk/internal/access"
 	"histwalk/internal/core"
 	"histwalk/internal/diagnostics"
+	"histwalk/internal/engine"
 	"histwalk/internal/estimate"
 	"histwalk/internal/graph"
 )
@@ -40,9 +41,10 @@ type Config struct {
 	BudgetPerChain int
 	// MaxStepsPerChain caps each walk (0 = 200× budget).
 	MaxStepsPerChain int
-	// Seed derives each chain's seed.
+	// Seed derives each chain's seed (through the engine's mixer).
 	Seed int64
-	// Parallelism caps concurrent goroutines (0 = Chains).
+	// Parallelism caps concurrent chains on the trial-execution engine
+	// (0 = Chains). Results are identical for any value.
 	Parallelism int
 }
 
@@ -62,8 +64,9 @@ type Result struct {
 	TotalSteps int
 }
 
-// Run executes the ensemble. Chains run concurrently; the merge is
-// deterministic given Config.Seed regardless of scheduling.
+// Run executes the ensemble on the worker-pool engine. Chains run
+// concurrently; the merge is deterministic given Config.Seed regardless
+// of scheduling.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Graph == nil {
 		return nil, errors.New("ensemble: nil graph")
@@ -83,26 +86,18 @@ func Run(cfg Config) (*Result, error) {
 		par = cfg.Chains
 	}
 
-	type chainOut struct {
-		values  []float64
-		degrees []int
-		queries int
-		steps   int
-		err     error
-	}
 	outs := make([]chainOut, cfg.Chains)
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for c := 0; c < cfg.Chains; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outs[c] = runChain(cfg, c, maxSteps)
-		}(c)
+	eng := engine.New(engine.Options{Workers: par})
+	err := eng.Each(context.Background(), cfg.Chains, func(_ context.Context, c int) error {
+		outs[c] = runChain(cfg, c, maxSteps)
+		if outs[c].err != nil {
+			return fmt.Errorf("ensemble: chain %d: %w", c, outs[c].err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 
 	res := &Result{}
 	pooled := estimate.NewMean(cfg.Design)
@@ -110,9 +105,6 @@ func Run(cfg Config) (*Result, error) {
 	minLen := -1
 	for c := range outs {
 		o := &outs[c]
-		if o.err != nil {
-			return nil, fmt.Errorf("ensemble: chain %d: %w", c, o.err)
-		}
 		chain := estimate.NewMean(cfg.Design)
 		for i := range o.values {
 			if err := pooled.Add(o.values[i], o.degrees[i]); err != nil {
@@ -154,15 +146,22 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runChain executes one walker to its budget.
-func runChain(cfg Config, c, maxSteps int) (out struct {
+// chainOut is one chain's raw sample path and accounting.
+type chainOut struct {
 	values  []float64
 	degrees []int
 	queries int
 	steps   int
 	err     error
-}) {
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*1_000_003))
+}
+
+// ensembleStream separates ensemble chain seeds from the experiment
+// harness's trial seeds under a shared master seed.
+var ensembleStream = engine.StreamID("ensemble")
+
+// runChain executes one walker to its budget.
+func runChain(cfg Config, c, maxSteps int) (out chainOut) {
+	rng := rand.New(rand.NewSource(engine.TrialSeed(cfg.Seed, ensembleStream, c)))
 	sim := access.NewSimulator(cfg.Graph)
 	n := cfg.Graph.NumNodes()
 	if n == 0 {

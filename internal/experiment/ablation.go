@@ -7,12 +7,14 @@ package experiment
 // questions its design discussion raises.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"histwalk/internal/access"
 	"histwalk/internal/core"
 	"histwalk/internal/dataset"
+	"histwalk/internal/engine"
 	"histwalk/internal/graph"
 	"histwalk/internal/stats"
 )
@@ -28,12 +30,16 @@ type AblationCirculationConfig struct {
 	Trials int
 	// Seed derives trial seeds.
 	Seed int64
+	// Workers bounds concurrent trial execution (0 = GOMAXPROCS).
+	Workers int
 }
 
 // AblationCirculationTable measures the trial-to-trial standard
 // deviation of the clique-occupancy estimator on a barbell graph for
 // SRW, edge-keyed CNRW (the paper's design), node-keyed CNRW (the
-// alternative §3.2 argues against), NB-SRW and NB-CNRW.
+// alternative §3.2 argues against), NB-SRW and NB-CNRW. Trials fan out
+// on the engine; the Welford fold happens in trial order, so the table
+// is identical for any worker count.
 func AblationCirculationTable(cfg AblationCirculationConfig) (*Table, error) {
 	if cfg.CliqueSize < 2 {
 		cfg.CliqueSize = 10
@@ -57,24 +63,34 @@ func AblationCirculationTable(cfg AblationCirculationConfig) (*Table, error) {
 		Title:  fmt.Sprintf("Edge- vs node-keyed circulation on Barbell(%d): occupancy estimator", cfg.CliqueSize),
 		Header: []string{"walker", "mean(true 0.5)", "stddev", "vs SRW stddev"},
 	}
+	eng := engine.New(engine.Options{Workers: cfg.Workers})
+	stream := engine.StreamID("ablation-circulation")
 	srwSD := 0.0
 	for _, f := range variants {
-		var w stats.Welford
-		for tr := 0; tr < cfg.Trials; tr++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(tr)))
+		occupancy := make([]float64, cfg.Trials)
+		err := eng.Each(context.Background(), cfg.Trials, func(_ context.Context, tr int) error {
+			rng := rand.New(rand.NewSource(engine.TrialSeed(cfg.Seed, stream, tr)))
 			sim := access.NewSimulator(g)
 			wk := f.New(sim, 0, rng)
 			in2 := 0
 			for s := 0; s < cfg.Steps; s++ {
 				v, err := wk.Step()
 				if err != nil {
-					return nil, fmt.Errorf("experiment: %s: %w", f.Name, err)
+					return fmt.Errorf("experiment: %s: %w", f.Name, err)
 				}
 				if int(v) >= cfg.CliqueSize {
 					in2++
 				}
 			}
-			w.Add(float64(in2) / float64(cfg.Steps))
+			occupancy[tr] = float64(in2) / float64(cfg.Steps)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var w stats.Welford
+		for _, o := range occupancy {
+			w.Add(o)
 		}
 		if f.Name == "SRW" {
 			srwSD = w.StdDev()
@@ -113,6 +129,7 @@ func AblationGroupCountFigure(c PaperConfig) (*Figure, error) {
 		Budgets:   []int{500, 1000, 1500},
 		Trials:    c.EstimationTrials,
 		Seed:      c.Seed * 9000,
+		Workers:   c.Workers,
 	})
 }
 
@@ -135,5 +152,6 @@ func AblationFrontierFigure(c PaperConfig) (*Figure, error) {
 		Budgets: []int{250, 500, 1000},
 		Trials:  c.EstimationTrials,
 		Seed:    c.Seed * 9500,
+		Workers: c.Workers,
 	})
 }

@@ -7,12 +7,26 @@ import (
 	"testing"
 
 	"histwalk/internal/core"
+	"histwalk/internal/engine"
 	"histwalk/internal/estimate"
 	"histwalk/internal/graph"
 )
 
 func testFactories() []core.Factory {
 	return []core.Factory{core.SRWFactory(), core.CNRWFactory()}
+}
+
+// runTrial performs one seeded walk of factory f over g; a test shim
+// over engine.RunTrial, which production code calls directly.
+func runTrial(g *graph.Graph, f core.Factory, attr string, budgets []int, seed int64, recordPath bool, cost CostModel) (*TrialResult, error) {
+	return engine.RunTrial(engine.Job{
+		Graph:      g,
+		Factory:    f,
+		Attr:       attr,
+		Budgets:    budgets,
+		RecordPath: recordPath,
+		Cost:       cost,
+	}, seed)
 }
 
 func testGraph() *graph.Graph {

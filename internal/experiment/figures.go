@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -9,6 +10,7 @@ import (
 
 	"histwalk/internal/access"
 	"histwalk/internal/core"
+	"histwalk/internal/engine"
 	"histwalk/internal/estimate"
 	"histwalk/internal/graph"
 	"histwalk/internal/stats"
@@ -17,8 +19,15 @@ import (
 // EstimationConfig parameterizes a relative-error-vs-query-cost figure
 // (Figures 6, 7c, 7d and 9 of the paper).
 type EstimationConfig struct {
-	// ID and Title label the output figure.
+	// ID and Title label the output figure. The ID also names the seed
+	// stream (unless Stream overrides it), so two figures with the same
+	// master seed but different IDs draw disjoint trial-seed sequences.
 	ID, Title string
+	// Stream optionally overrides the seed-stream label (default: ID).
+	// Figures that must share trial walks — e.g. two panels measuring
+	// the same trajectories under different attributes — set the same
+	// Stream.
+	Stream string
 	// Graph is the dataset.
 	Graph *graph.Graph
 	// Attr is the measure attribute ("degree" for the average-degree
@@ -30,16 +39,20 @@ type EstimationConfig struct {
 	Budgets []int
 	// Trials is the number of independent walks per algorithm.
 	Trials int
-	// Seed derives all per-trial seeds.
+	// Seed derives all per-trial seeds (through the engine's mixer).
 	Seed int64
 	// Cost selects the budget metering (default CostUnique).
 	Cost CostModel
+	// Workers bounds concurrent trial execution (0 = GOMAXPROCS).
+	// Results are identical for every worker count.
+	Workers int
 }
 
 // EstimationFigure measures, for each algorithm and query budget, the
 // mean relative error of the aggregate estimate over independent
 // trials. Trial seeds are shared across algorithms, so every algorithm
-// sees the same sequence of start nodes.
+// sees the same sequence of start nodes. Trials run on the worker-pool
+// engine; the figure is bit-identical for any Workers value.
 func EstimationFigure(cfg EstimationConfig) (*Figure, error) {
 	if cfg.Trials < 1 {
 		return nil, errors.New("experiment: Trials must be >= 1")
@@ -54,13 +67,28 @@ func EstimationFigure(cfg EstimationConfig) (*Figure, error) {
 		XLabel: "query_cost",
 		YLabel: "relative_error",
 	}
+	eng := engine.New(engine.Options{Workers: cfg.Workers})
+	label := cfg.Stream
+	if label == "" {
+		label = cfg.ID
+	}
+	stream := engine.StreamID("estimation", label)
 	for _, f := range cfg.Factories {
+		results, err := eng.Run(context.Background(), engine.Job{
+			Graph:   cfg.Graph,
+			Factory: f,
+			Attr:    cfg.Attr,
+			Budgets: cfg.Budgets,
+			Trials:  cfg.Trials,
+			Seed:    cfg.Seed,
+			Stream:  stream,
+			Cost:    cfg.Cost,
+		})
+		if err != nil {
+			return nil, err
+		}
 		acc := make([]stats.Welford, len(cfg.Budgets))
-		for t := 0; t < cfg.Trials; t++ {
-			res, err := runTrial(cfg.Graph, f, cfg.Attr, cfg.Budgets, cfg.Seed+int64(t), false, cfg.Cost)
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results {
 			for i, e := range res.Estimates {
 				acc[i].Add(estimate.RelativeError(e, truth))
 			}
@@ -80,7 +108,8 @@ func EstimationFigure(cfg EstimationConfig) (*Figure, error) {
 // KL-divergence, ℓ2 distance and estimation error against query cost
 // (Figures 7a–7c and 10a–10c).
 type DistanceConfig struct {
-	// IDPrefix labels the three output figures (IDPrefix+"-kl" etc.).
+	// IDPrefix labels the three output figures (IDPrefix+"-kl" etc.)
+	// and names the seed stream.
 	IDPrefix, Title string
 	// Graph is the dataset (must be small enough that the empirical
 	// visit distribution is meaningful).
@@ -93,11 +122,13 @@ type DistanceConfig struct {
 	Budgets []int
 	// Trials is the number of independent walks per algorithm.
 	Trials int
-	// Seed derives all per-trial seeds.
+	// Seed derives all per-trial seeds (through the engine's mixer).
 	Seed int64
 	// Cost selects the budget metering. The paper's Figures 7/10/11 use
 	// budgets exceeding the node count, so their runners set CostSteps.
 	Cost CostModel
+	// Workers bounds concurrent trial execution (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DistanceResult bundles the three sub-figures produced by
@@ -137,17 +168,28 @@ func DistanceFigures(cfg DistanceConfig) (*DistanceResult, error) {
 		L2:  &Figure{ID: cfg.IDPrefix + "-l2", Title: cfg.Title + " — l2 distance", XLabel: "query_cost", YLabel: "l2_distance"},
 		Err: &Figure{ID: cfg.IDPrefix + "-err", Title: cfg.Title + " — estimation error", XLabel: "query_cost", YLabel: "relative_error"},
 	}
+	eng := engine.New(engine.Options{Workers: cfg.Workers})
+	stream := engine.StreamID("distance", cfg.IDPrefix)
 	for _, f := range cfg.Factories {
+		results, err := eng.Run(context.Background(), engine.Job{
+			Graph:   cfg.Graph,
+			Factory: f,
+			Attr:    cfg.Attr,
+			Budgets: cfg.Budgets,
+			Trials:  cfg.Trials,
+			Seed:    cfg.Seed,
+			Stream:  stream,
+			Cost:    cfg.Cost,
+		})
+		if err != nil {
+			return nil, err
+		}
 		counters := make([]*stats.VisitCounter, len(cfg.Budgets))
 		for i := range counters {
 			counters[i] = stats.NewVisitCounter(n)
 		}
 		errAcc := make([]stats.Welford, len(cfg.Budgets))
-		for t := 0; t < cfg.Trials; t++ {
-			tr, err := runTrial(cfg.Graph, f, cfg.Attr, cfg.Budgets, cfg.Seed+int64(t), false, cfg.Cost)
-			if err != nil {
-				return nil, err
-			}
+		for _, tr := range results {
 			for i, e := range tr.Estimates {
 				errAcc[i].Add(estimate.RelativeError(e, truth))
 			}
@@ -198,7 +240,8 @@ func DistanceFigures(cfg DistanceConfig) (*DistanceResult, error) {
 // is compared, node by node (ordered by degree), with the theoretical
 // stationary distribution.
 type StationaryConfig struct {
-	// ID and Title label the output figure.
+	// ID and Title label the output figure; the ID names the seed
+	// stream.
 	ID, Title string
 	// Graph is the dataset.
 	Graph *graph.Graph
@@ -208,13 +251,16 @@ type StationaryConfig struct {
 	Walks int
 	// StepsPerWalk is the walk length in transitions (paper: 10000).
 	StepsPerWalk int
-	// Seed derives all per-walk seeds.
+	// Seed derives all per-walk seeds (through the engine's mixer).
 	Seed int64
+	// Workers bounds concurrent walk execution (0 = GOMAXPROCS).
+	Workers int
 }
 
 // StationaryFigure runs the Figure 8 experiment. The returned figure has
 // one series per algorithm plus the "Theoretical" π, with X the node
-// rank when nodes are sorted by ascending degree.
+// rank when nodes are sorted by ascending degree. Walks run on the
+// worker-pool engine, each with a private simulator.
 func StationaryFigure(cfg StationaryConfig) (*Figure, error) {
 	if cfg.Walks < 1 || cfg.StepsPerWalk < 1 {
 		return nil, errors.New("experiment: Walks and StepsPerWalk must be >= 1")
@@ -234,26 +280,48 @@ func StationaryFigure(cfg StationaryConfig) (*Figure, error) {
 		theoSeries.Y = append(theoSeries.Y, theo[v])
 	}
 	fig.Series = append(fig.Series, theoSeries)
+	eng := engine.New(engine.Options{Workers: cfg.Workers})
+	stream := engine.StreamID("stationary", cfg.ID)
 	for _, f := range cfg.Factories {
-		vc := stats.NewVisitCounter(n)
-		for w := 0; w < cfg.Walks; w++ {
-			seed := cfg.Seed + int64(w)
-			rng := rand.New(rand.NewSource(seed))
+		// Each walk fills its own counter; the merge (in walk order,
+		// though integer sums commute anyway) is deterministic for any
+		// worker count.
+		walkCounts := make([][]float64, cfg.Walks)
+		err := eng.Each(context.Background(), cfg.Walks, func(_ context.Context, w int) error {
+			rng := rand.New(rand.NewSource(engine.TrialSeed(cfg.Seed, stream, w)))
 			start, err := randomStart(cfg.Graph, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sim := access.NewSimulator(cfg.Graph)
 			walker := f.New(sim, start, rng)
+			vc := stats.NewVisitCounter(n)
 			for s := 0; s < cfg.StepsPerWalk; s++ {
 				v, err := walker.Step()
 				if err != nil {
-					return nil, fmt.Errorf("experiment: %s walk %d step %d: %w", f.Name, w, s, err)
+					return fmt.Errorf("experiment: %s walk %d step %d: %w", f.Name, w, s, err)
 				}
 				vc.Visit(v)
 			}
+			walkCounts[w] = vc.Counts()
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		dist := vc.Distribution()
+		dist := make([]float64, n)
+		total := 0.0
+		for _, counts := range walkCounts {
+			for i, c := range counts {
+				dist[i] += c
+				total += c
+			}
+		}
+		if total > 0 {
+			for i := range dist {
+				dist[i] /= total
+			}
+		}
 		s := Series{Name: f.Name}
 		for rank, v := range order {
 			s.X = append(s.X, float64(rank))
@@ -312,10 +380,13 @@ type SizeSweepConfig struct {
 	Attr string
 	// Trials is the number of walks per algorithm per size.
 	Trials int
-	// Seed derives all per-trial seeds.
+	// Seed derives all per-trial seeds; each size runs in its own seed
+	// stream.
 	Seed int64
 	// Cost selects the budget metering.
 	Cost CostModel
+	// Workers bounds concurrent trial execution (0 = GOMAXPROCS).
+	Workers int
 }
 
 // SizeSweepFigures runs the Figure 11 experiment: for each graph size it
@@ -343,15 +414,18 @@ func SizeSweepFigures(cfg SizeSweepConfig) (*DistanceResult, error) {
 		g := cfg.Make(size)
 		budget := cfg.BudgetFor(size)
 		dres, err := DistanceFigures(DistanceConfig{
-			IDPrefix:  "tmp",
+			// The size-specific prefix gives each size its own seed
+			// stream under the shared master seed.
+			IDPrefix:  fmt.Sprintf("%s-size-%d", cfg.IDPrefix, size),
 			Title:     "tmp",
 			Graph:     g,
 			Attr:      cfg.Attr,
 			Factories: cfg.Factories,
 			Budgets:   []int{budget},
 			Trials:    cfg.Trials,
-			Seed:      cfg.Seed + int64(size)*7919,
+			Seed:      cfg.Seed,
 			Cost:      cfg.Cost,
+			Workers:   cfg.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: size %d: %w", size, err)
@@ -389,6 +463,8 @@ type EscapeConfig struct {
 	Episodes int
 	// Seed seeds the walks.
 	Seed int64
+	// Workers bounds concurrent episode execution (0 = GOMAXPROCS).
+	Workers int
 }
 
 // EscapeResult reports the empirical Theorem 3 quantities.
@@ -430,7 +506,8 @@ type EscapeResult struct {
 // Theorem 3's P_CNRW (Eq. 38), to be compared against SRW's measured
 // per-visit crossing probability 1/|G1|. Second, it measures the mean
 // time to first escape from G1 for both algorithms over independent
-// episodes, the operational consequence of the theorem.
+// episodes (fanned out on the engine), the operational consequence of
+// the theorem.
 func BarbellEscape(cfg EscapeConfig) (*EscapeResult, error) {
 	if cfg.CliqueSize < 2 {
 		return nil, errors.New("experiment: CliqueSize must be >= 2")
@@ -523,10 +600,15 @@ func BarbellEscape(cfg EscapeConfig) (*EscapeResult, error) {
 	}
 
 	// --- first-escape episodes ---
+	eng := engine.New(engine.Options{Workers: cfg.Workers})
+	// One stream for both algorithms: episode e of SRW and CNRW shares
+	// its seed (hence its start node), the paired design that keeps the
+	// escape-time comparison's variance down.
+	episodeStream := engine.StreamID("escape-episodes")
 	meanEscape := func(mk func(c access.Client, s graph.Node, r *rand.Rand) core.Walker) (float64, error) {
-		total := 0.0
-		for e := 0; e < cfg.Episodes; e++ {
-			erng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(e)))
+		perEpisode := make([]float64, cfg.Episodes)
+		err := eng.Each(context.Background(), cfg.Episodes, func(_ context.Context, e int) error {
+			erng := rand.New(rand.NewSource(engine.TrialSeed(cfg.Seed, episodeStream, e)))
 			esim := access.NewSimulator(g)
 			start := graph.Node(erng.Intn(k)) // uniform in G1
 			w := mk(esim, start, erng)
@@ -534,7 +616,7 @@ func BarbellEscape(cfg EscapeConfig) (*EscapeResult, error) {
 			for {
 				v, err := w.Step()
 				if err != nil {
-					return 0, err
+					return err
 				}
 				steps++
 				if int(v) >= k { // crossed into G2
@@ -544,7 +626,17 @@ func BarbellEscape(cfg EscapeConfig) (*EscapeResult, error) {
 					break // safety valve; contributes the cap
 				}
 			}
-			total += float64(steps)
+			perEpisode[e] = float64(steps)
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		// Sum in episode order so the mean is bit-identical for any
+		// worker count.
+		total := 0.0
+		for _, s := range perEpisode {
+			total += s
 		}
 		return total / float64(cfg.Episodes), nil
 	}

@@ -36,6 +36,9 @@ type PaperConfig struct {
 	EscapeSteps, EscapeEpisodes, EscapeClique int
 	// GroupCount is m, the number of strata used by GNRW groupers.
 	GroupCount int
+	// Workers bounds the trial-execution engine's fan-out for every
+	// figure (0 = GOMAXPROCS). Outputs are identical for any value.
+	Workers int
 }
 
 // QuickConfig returns a configuration sized for benches and CI: every
@@ -143,6 +146,7 @@ func Figure6(c PaperConfig) (*Figure, error) {
 		Budgets:   budgets,
 		Trials:    c.EstimationTrials,
 		Seed:      c.Seed * 1000,
+		Workers:   c.Workers,
 	})
 }
 
@@ -163,6 +167,7 @@ func Figure7(c PaperConfig) (*DistanceResult, error) {
 		Trials:    c.DistanceTrials,
 		Seed:      c.Seed * 2000,
 		Cost:      CostSteps,
+		Workers:   c.Workers,
 	})
 }
 
@@ -183,6 +188,7 @@ func Figure7d(c PaperConfig) (*Figure, error) {
 		Budgets: []int{200, 400, 600, 800, 1000},
 		Trials:  c.EstimationTrials,
 		Seed:    c.Seed * 3000,
+		Workers: c.Workers,
 	})
 }
 
@@ -212,6 +218,7 @@ func Figure8(c PaperConfig, which int) (*Figure, error) {
 		Walks:        c.StationaryWalks,
 		StepsPerWalk: c.StationarySteps,
 		Seed:         c.Seed * 4000,
+		Workers:      c.Workers,
 	})
 }
 
@@ -227,8 +234,12 @@ func Figure9(c PaperConfig) (*Figure, *Figure, error) {
 		core.GNRWFactory(core.AttrGrouper{Attr: dataset.AttrReviews, M: c.GroupCount}),
 	}
 	budgets := []int{200, 400, 600, 800, 1000, 1500}
+	// Both panels share the "fig9" seed stream: trial t of 9a and 9b is
+	// the identical walk trajectory, measured once under each attribute,
+	// so the panel comparison stays variance-paired.
 	figA, err := EstimationFigure(EstimationConfig{
 		ID:        "fig9a",
+		Stream:    "fig9",
 		Title:     fmt.Sprintf("Yelp stand-in (n=%d): estimate average degree", g.NumNodes()),
 		Graph:     g,
 		Attr:      "degree",
@@ -236,12 +247,14 @@ func Figure9(c PaperConfig) (*Figure, *Figure, error) {
 		Budgets:   budgets,
 		Trials:    c.EstimationTrials,
 		Seed:      c.Seed * 5000,
+		Workers:   c.Workers,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	figB, err := EstimationFigure(EstimationConfig{
 		ID:        "fig9b",
+		Stream:    "fig9",
 		Title:     fmt.Sprintf("Yelp stand-in (n=%d): estimate average reviews count", g.NumNodes()),
 		Graph:     g,
 		Attr:      dataset.AttrReviews,
@@ -249,6 +262,7 @@ func Figure9(c PaperConfig) (*Figure, *Figure, error) {
 		Budgets:   budgets,
 		Trials:    c.EstimationTrials,
 		Seed:      c.Seed * 5000,
+		Workers:   c.Workers,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -272,6 +286,7 @@ func Figure10(c PaperConfig) (*DistanceResult, error) {
 		Trials:    c.DistanceTrials,
 		Seed:      c.Seed * 6000,
 		Cost:      CostSteps,
+		Workers:   c.Workers,
 	})
 }
 
@@ -291,6 +306,7 @@ func Figure10Unique(c PaperConfig) (*DistanceResult, error) {
 		Trials:    c.DistanceTrials,
 		Seed:      c.Seed * 6500,
 		Cost:      CostUnique,
+		Workers:   c.Workers,
 	})
 }
 
@@ -313,10 +329,11 @@ func Figure11(c PaperConfig) (*DistanceResult, error) {
 		// Degrees on a barbell are nearly constant, making the
 		// average-degree aggregate trivially easy; the informative
 		// (slowest-mixing) aggregate is the far-clique occupancy.
-		Attr:   dataset.AttrClique2,
-		Trials: c.DistanceTrials / 2,
-		Seed:   c.Seed * 7000,
-		Cost:   CostSteps,
+		Attr:    dataset.AttrClique2,
+		Trials:  c.DistanceTrials / 2,
+		Seed:    c.Seed * 7000,
+		Cost:    CostSteps,
+		Workers: c.Workers,
 	})
 }
 
@@ -331,6 +348,7 @@ func Theorem3(c PaperConfig) (*EscapeResult, error) {
 		Steps:      c.EscapeSteps,
 		Episodes:   c.EscapeEpisodes,
 		Seed:       c.Seed * 8000,
+		Workers:    c.Workers,
 	})
 }
 

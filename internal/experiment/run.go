@@ -1,214 +1,45 @@
 package experiment
 
+// Trial execution lives in internal/engine (the deterministic
+// worker-pool runner); this file keeps the experiment-level names
+// stable and hosts the figure-side helpers that are about ground truth
+// rather than walk execution.
+
 import (
-	"errors"
 	"fmt"
 	"math/rand"
-	"strings"
 
-	"histwalk/internal/access"
-	"histwalk/internal/core"
+	"histwalk/internal/engine"
 	"histwalk/internal/estimate"
 	"histwalk/internal/graph"
 )
 
 // CostModel selects how a walk's spend is metered against the budget.
-type CostModel int
+// See engine.CostModel.
+type CostModel = engine.CostModel
 
 const (
-	// CostUnique counts unique neighborhood queries: repeat visits are
-	// served from the crawler's cache for free. This is the paper's
-	// §2.3 definition and the default.
-	CostUnique CostModel = iota
-	// CostSteps counts every transition as one query (no cache). The
-	// paper's small-graph figures (7, 10, 11) use budgets exceeding the
-	// graph's node count, which is only meaningful under this model, so
-	// the corresponding runners select it.
-	CostSteps
+	// CostUnique counts unique neighborhood queries (the paper's §2.3
+	// definition and the default).
+	CostUnique = engine.CostUnique
+	// CostSteps counts every transition as one query (no cache).
+	CostSteps = engine.CostSteps
 )
 
-// String implements fmt.Stringer.
-func (m CostModel) String() string {
-	switch m {
-	case CostUnique:
-		return "unique-queries"
-	case CostSteps:
-		return "steps"
-	default:
-		return fmt.Sprintf("CostModel(%d)", int(m))
-	}
-}
+// TrialResult captures one walk trial with snapshots taken each time the
+// query cost crossed the next budget checkpoint. See engine.TrialResult.
+type TrialResult = engine.TrialResult
 
 // DesignFor returns the estimator design matching a walker: MHRW targets
 // the uniform distribution, every other algorithm in this repository is
 // degree-proportional.
 func DesignFor(factoryName string) estimate.Design {
-	if strings.HasPrefix(factoryName, "MHRW") {
-		return estimate.Uniform
-	}
-	return estimate.DegreeProportional
-}
-
-// TrialResult captures one walk trial with snapshots taken each time the
-// unique-query cost crossed the next budget checkpoint.
-type TrialResult struct {
-	// Budgets are the query-cost checkpoints (ascending).
-	Budgets []int
-	// Estimates[i] is the aggregate estimate when the walk had spent
-	// Budgets[i] unique queries.
-	Estimates []float64
-	// FinalNodes[i] is the node the walk occupied at that checkpoint
-	// (the "sample" a budget-c crawler would return).
-	FinalNodes []graph.Node
-	// Steps is the total number of transitions performed.
-	Steps int
-	// QueryCost is the total unique queries spent.
-	QueryCost int
-	// Path is the full visit sequence (only when path recording was
-	// requested).
-	Path []graph.Node
-	// CrossSteps[i] is the number of steps taken when Budgets[i] was
-	// reached (only when path recording was requested).
-	CrossSteps []int
-}
-
-// maxStepsFor caps the walk length so trials terminate even when the
-// budget exceeds the number of reachable unique nodes (on a small graph
-// the cache eventually serves everything and query cost stops growing).
-func maxStepsFor(budgets []int) int {
-	max := budgets[len(budgets)-1]
-	steps := 200 * max
-	if steps < 100000 {
-		steps = 100000
-	}
-	return steps
-}
-
-// runTrial performs one seeded walk of factory f over g, measuring the
-// attribute attr (the node degree when attr == "degree"), snapshotting
-// at each budget. The start node is drawn uniformly from non-isolated
-// nodes using the trial RNG, exactly once per trial so all algorithms
-// compared under the same seed share the start.
-func runTrial(g *graph.Graph, f core.Factory, attr string, budgets []int, seed int64, recordPath bool, cost CostModel) (*TrialResult, error) {
-	if len(budgets) == 0 {
-		return nil, errors.New("experiment: no budgets")
-	}
-	for i := 1; i < len(budgets); i++ {
-		if budgets[i] <= budgets[i-1] {
-			return nil, fmt.Errorf("experiment: budgets must be ascending, got %v", budgets)
-		}
-	}
-	rng := rand.New(rand.NewSource(seed))
-	start, err := randomStart(g, rng)
-	if err != nil {
-		return nil, err
-	}
-	sim := access.NewSimulator(g)
-	walker := f.New(sim, start, rng)
-	design := DesignFor(f.Name)
-	est := estimate.NewMean(design)
-
-	res := &TrialResult{
-		Budgets:    append([]int(nil), budgets...),
-		Estimates:  make([]float64, len(budgets)),
-		FinalNodes: make([]graph.Node, len(budgets)),
-	}
-	if recordPath {
-		res.CrossSteps = make([]int, len(budgets))
-	}
-	next := 0
-	maxSteps := maxStepsFor(budgets)
-	if cost == CostSteps {
-		maxSteps = budgets[len(budgets)-1]
-	}
-	lastBudget := budgets[len(budgets)-1]
-	for step := 0; step < maxSteps && next < len(budgets); step++ {
-		v, err := walker.Step()
-		if err != nil {
-			return nil, fmt.Errorf("experiment: %s step %d: %w", f.Name, step, err)
-		}
-		val, deg, err := measure(g, attr, v)
-		if err != nil {
-			return nil, err
-		}
-		if err := est.Add(val, deg); err != nil {
-			return nil, err
-		}
-		if recordPath {
-			res.Path = append(res.Path, v)
-		}
-		spent := sim.QueryCost()
-		if cost == CostSteps {
-			spent = step + 1
-		}
-		for next < len(budgets) && spent >= budgets[next] {
-			e, err := est.Estimate()
-			if err != nil {
-				return nil, err
-			}
-			res.Estimates[next] = e
-			res.FinalNodes[next] = v
-			if recordPath {
-				res.CrossSteps[next] = step + 1
-			}
-			next++
-		}
-		if spent >= lastBudget {
-			break
-		}
-		// Unique queries can never exceed the node count: once the whole
-		// graph is cached, larger budgets are unreachable — freeze.
-		if cost == CostUnique && sim.QueryCost() >= g.NumNodes() {
-			break
-		}
-	}
-	// If the cache made further budgets unreachable (walk saturated the
-	// reachable node set), freeze remaining checkpoints at the final
-	// state: a real crawler would likewise stop paying.
-	for ; next < len(budgets); next++ {
-		e, err := est.Estimate()
-		if err != nil {
-			return nil, err
-		}
-		res.Estimates[next] = e
-		res.FinalNodes[next] = walker.Current()
-		if recordPath {
-			res.CrossSteps[next] = len(res.Path)
-		}
-	}
-	res.Steps = walker.Steps()
-	res.QueryCost = sim.QueryCost()
-	return res, nil
-}
-
-// measure returns the value of the measure function and the degree of
-// node v. attr == "degree" uses the topological degree so that datasets
-// need not materialize a degree attribute.
-func measure(g *graph.Graph, attr string, v graph.Node) (float64, int, error) {
-	deg := g.Degree(v)
-	if attr == "degree" || attr == "" {
-		return float64(deg), deg, nil
-	}
-	x, ok := g.AttrValue(attr, v)
-	if !ok {
-		return 0, 0, fmt.Errorf("experiment: graph %q lacks attribute %q", g.Name(), attr)
-	}
-	return x, deg, nil
+	return engine.DesignFor(factoryName)
 }
 
 // randomStart draws a uniform non-isolated start node.
 func randomStart(g *graph.Graph, rng *rand.Rand) (graph.Node, error) {
-	n := g.NumNodes()
-	if n == 0 {
-		return 0, errors.New("experiment: empty graph")
-	}
-	for tries := 0; tries < 10*n+100; tries++ {
-		v := graph.Node(rng.Intn(n))
-		if g.Degree(v) > 0 {
-			return v, nil
-		}
-	}
-	return 0, errors.New("experiment: no node with degree >= 1")
+	return engine.RandomStart(g, rng)
 }
 
 // groundTruth returns the exact population mean of the measure function.

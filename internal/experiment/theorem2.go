@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"histwalk/internal/access"
 	"histwalk/internal/core"
+	"histwalk/internal/engine"
 	"histwalk/internal/graph"
 	"histwalk/internal/markov"
 	"histwalk/internal/stats"
@@ -23,6 +25,8 @@ type Theorem2Config struct {
 	Batch int
 	// Seed seeds the walks.
 	Seed int64
+	// Workers bounds concurrent walk measurements (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Theorem2Row is one graph's worth of results.
@@ -39,7 +43,10 @@ type Theorem2Row struct {
 
 // Theorem2Results runs the validation over the paper's small synthetic
 // topologies with the measure function f = 1{node in the last clique}
-// (the slowest-mixing indicator on these trap graphs).
+// (the slowest-mixing indicator on these trap graphs). The four
+// empirical walk measurements of each topology run concurrently on the
+// engine; every walker keeps the seed it had under serial execution, so
+// the table is identical for any worker count.
 func Theorem2Results(cfg Theorem2Config) ([]Theorem2Row, error) {
 	if cfg.Steps <= 0 {
 		cfg.Steps = 300000
@@ -77,6 +84,7 @@ func Theorem2Results(cfg Theorem2Config) ([]Theorem2Row, error) {
 		cases = append(cases, testCase{g, f})
 	}
 
+	eng := engine.New(engine.Options{Workers: cfg.Workers})
 	var rows []Theorem2Row
 	for _, tc := range cases {
 		p := markov.SRWMatrix(tc.g)
@@ -92,34 +100,44 @@ func Theorem2Results(cfg Theorem2Config) ([]Theorem2Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %s: %w", tc.g.Name(), err)
 		}
-		emp := func(f core.Factory) (float64, error) {
+		factories := []core.Factory{
+			core.SRWFactory(),
+			core.NBSRWFactory(),
+			core.CNRWFactory(),
+			core.GNRWFactory(core.HashGrouper{M: 3}),
+		}
+		emp := make([]float64, len(factories))
+		err = eng.Each(context.Background(), len(factories), func(_ context.Context, i int) error {
 			rng := rand.New(rand.NewSource(cfg.Seed))
 			sim := access.NewSimulator(tc.g)
-			w := f.New(sim, 0, rng)
+			w := factories[i].New(sim, 0, rng)
 			series := make([]float64, cfg.Steps)
 			for s := 0; s < cfg.Steps; s++ {
 				v, err := w.Step()
 				if err != nil {
-					return 0, err
+					return err
 				}
 				series[s] = tc.f[v]
 			}
-			return stats.BatchMeansVariance(series, cfg.Batch)
-		}
-		row := Theorem2Row{Graph: tc.g.Name(), ExactSRW: exact, SpectralGap: gap}
-		if row.EmpSRW, err = emp(core.SRWFactory()); err != nil {
+			av, err := stats.BatchMeansVariance(series, cfg.Batch)
+			if err != nil {
+				return err
+			}
+			emp[i] = av
+			return nil
+		})
+		if err != nil {
 			return nil, err
 		}
-		if row.EmpCNRW, err = emp(core.CNRWFactory()); err != nil {
-			return nil, err
-		}
-		if row.EmpGNRW, err = emp(core.GNRWFactory(core.HashGrouper{M: 3})); err != nil {
-			return nil, err
-		}
-		if row.EmpNBSRW, err = emp(core.NBSRWFactory()); err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		rows = append(rows, Theorem2Row{
+			Graph:       tc.g.Name(),
+			ExactSRW:    exact,
+			SpectralGap: gap,
+			EmpSRW:      emp[0],
+			EmpNBSRW:    emp[1],
+			EmpCNRW:     emp[2],
+			EmpGNRW:     emp[3],
+		})
 	}
 	return rows, nil
 }
