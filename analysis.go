@@ -66,13 +66,22 @@ var (
 // Parallel walker ensembles.
 type (
 	// EnsembleConfig parameterizes a parallel sampling run.
+	//
+	// Deprecated: use Spec with Chains > 1 and Run; the session API
+	// additionally reports confidence intervals and per-chain query
+	// accounting. EnsembleConfig is kept as a compatibility shim.
 	EnsembleConfig = ensemble.Config
 	// EnsembleResult is the merged outcome of a parallel run.
+	//
+	// Deprecated: use Result from Run.
 	EnsembleResult = ensemble.Result
 )
 
 // RunEnsemble executes independent walkers concurrently and pools their
 // estimates, reporting Gelman–Rubin R̂ across the chains.
+//
+// Deprecated: use Run with Spec.Chains > 1 (RunEnsemble is now a thin
+// wrapper over it, preserving the legacy seed stream).
 var RunEnsemble = ensemble.Run
 
 // Frontier-sampling baselines (Ribeiro & Towsley, the paper's [17]).

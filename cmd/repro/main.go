@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"histwalk/internal/cliutil"
 	"histwalk/internal/experiment"
 )
 
@@ -33,9 +34,14 @@ func main() {
 	quick := flag.Bool("quick", false, "use the quick (bench-scale) configuration")
 	seed := flag.Int64("seed", 1, "master seed for all experiments")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
-	workers := flag.Int("workers", 0, "trial-execution workers per experiment (0 = one per core)")
+	workers := flag.Int("workers", 0, "trial-execution workers per experiment (default: one per core)")
 	flag.StringVar(&csvDir, "csv", "", "also write each figure/table as CSV into this directory")
 	flag.Parse()
+
+	if cliutil.ExplicitFlag("workers") && *workers < 1 {
+		fmt.Fprintf(os.Stderr, "repro: -workers must be >= 1, got %d\n", *workers)
+		os.Exit(1)
+	}
 
 	cfg := experiment.FullConfig()
 	if *quick {

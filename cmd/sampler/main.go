@@ -1,7 +1,7 @@
-// Command sampler runs a single random-walk sampling session over a
-// dataset (built-in stand-in or an edge-list file) and reports the
-// aggregate estimate, its relative error against ground truth, and the
-// query-cost accounting.
+// Command sampler runs a sampling session over a dataset (built-in
+// stand-in or an edge-list file) and reports the aggregate estimate,
+// its confidence interval and relative error against ground truth, and
+// the query-cost accounting.
 //
 // Usage:
 //
@@ -9,42 +9,51 @@
 //	sampler -edges graph.txt -algo cnrw -budget 500
 //	sampler -dataset gplus -algo cnrw -budget 500 -chains 8 -workers 4
 //
-// With -chains N > 1 the session runs N independent walkers (each with
-// its own cache and budget, the practical OSN deployment mode) on the
-// parallel trial-execution engine, merges their estimates and reports
-// the Gelman–Rubin convergence diagnostic; -workers caps the pool size
-// (0 = one worker per chain) without changing any result.
+// The whole run is one declarative histwalk.Spec executed by
+// histwalk.Run. With -chains N > 1 the session runs N independent
+// walkers (each with its own cache and budget, the practical OSN
+// deployment mode) on the parallel trial-execution engine, merges
+// their estimates and reports the Gelman–Rubin convergence diagnostic;
+// -workers caps the pool size without changing any result.
 //
 // Algorithms: srw, mhrw, nbsrw, cnrw, cnrw-node, nbcnrw, gnrw-degree,
 // gnrw-md5, gnrw-reviews.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strings"
 
 	"histwalk"
-	"histwalk/internal/ensemble"
-	"histwalk/internal/experiment"
+	"histwalk/internal/cliutil"
 )
-
-func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 func main() {
 	datasetName := flag.String("dataset", "facebook", "built-in dataset: "+strings.Join(histwalk.DatasetNames(), ", "))
 	edges := flag.String("edges", "", "edge-list file (overrides -dataset)")
 	algo := flag.String("algo", "cnrw", "algorithm: srw, mhrw, nbsrw, cnrw, cnrw-node, nbcnrw, gnrw-degree, gnrw-md5, gnrw-reviews")
-	budget := flag.Int("budget", 500, "unique-query budget")
+	budget := flag.Int("budget", 500, "unique-query budget per chain")
 	attr := flag.String("attr", "degree", "measure attribute to aggregate (AVG)")
 	seed := flag.Int64("seed", 1, "random seed")
 	groups := flag.Int("groups", 5, "number of strata for GNRW")
-	maxSteps := flag.Int("maxsteps", 0, "step cap (0 = 200×budget)")
+	maxSteps := flag.Int("maxsteps", 0, "step cap per chain (0 = 200×budget)")
+	burnIn := flag.Int("burnin", 0, "samples discarded per chain before estimating")
 	chains := flag.Int("chains", 1, "independent parallel walkers (each with its own budget)")
-	workers := flag.Int("workers", 0, "worker pool size for -chains > 1 (0 = one per chain)")
+	workers := flag.Int("workers", 0, "worker pool size for -chains > 1 (default: one per chain)")
 	flag.Parse()
+
+	if *chains < 1 {
+		fail(fmt.Errorf("-chains must be >= 1, got %d", *chains))
+	}
+	if cliutil.ExplicitFlag("workers") && *workers < 1 {
+		fail(fmt.Errorf("-workers must be >= 1, got %d", *workers))
+	}
+	if *budget < 1 {
+		fail(fmt.Errorf("-budget must be >= 1, got %d", *budget))
+	}
 
 	g, err := loadGraph(*edges, *datasetName, *seed)
 	if err != nil {
@@ -58,97 +67,44 @@ func main() {
 	fmt.Printf("dataset %s: %d nodes, %d edges, avg degree %.2f\n",
 		g.Name(), g.NumNodes(), g.NumEdges(), g.AvgDegree())
 
-	if *chains > 1 {
-		runEnsemble(g, factory, *attr, *budget, *maxSteps, *chains, *workers, *seed)
-		return
+	spec := histwalk.Spec{
+		Graph:      g,
+		Walker:     factory,
+		Estimators: []histwalk.EstimatorSpec{{Kind: histwalk.AggMean, Attr: *attr}},
+		Budget:     *budget,
+		MaxSteps:   *maxSteps,
+		BurnIn:     *burnIn,
+		Chains:     *chains,
+		Workers:    *workers,
+		Seed:       *seed,
+		Confidence: 0.95,
 	}
-
-	rng := newRand(*seed)
-	start := histwalk.Node(rng.Intn(g.NumNodes()))
-	for g.Degree(start) == 0 {
-		start = histwalk.Node(rng.Intn(g.NumNodes()))
-	}
-	sim := histwalk.NewSimulator(g)
-	walker := factory.New(sim, start, rng)
-	design := experiment.DesignFor(factory.Name)
-	mean := histwalk.NewMean(design)
-
-	cap := *maxSteps
-	if cap <= 0 {
-		cap = 200 * *budget
-	}
-	steps := 0
-	for sim.QueryCost() < *budget && steps < cap {
-		v, err := walker.Step()
-		if err != nil {
-			fail(fmt.Errorf("step %d: %w", steps, err))
-		}
-		val := float64(g.Degree(v))
-		if *attr != "degree" {
-			x, ok := g.AttrValue(*attr, v)
-			if !ok {
-				fail(fmt.Errorf("dataset lacks attribute %q", *attr))
-			}
-			val = x
-		}
-		if err := mean.Add(val, g.Degree(v)); err != nil {
-			fail(err)
-		}
-		steps++
-	}
-
-	est, err := mean.Estimate()
+	res, err := histwalk.Run(context.Background(), spec)
 	if err != nil {
 		fail(err)
 	}
+
 	truth := g.AvgDegree()
 	if *attr != "degree" {
 		truth, _ = g.MeanAttr(*attr)
 	}
-	fmt.Printf("algorithm        %s (estimator design: %s)\n", factory.Name, design)
-	fmt.Printf("start node       %d\n", start)
-	fmt.Printf("steps            %d\n", steps)
-	fmt.Printf("unique queries   %d (budget %d)\n", sim.QueryCost(), *budget)
-	fmt.Printf("cache hits       %d\n", sim.TotalRequests()-sim.QueryCost())
-	fmt.Printf("AVG(%s)          estimate %.4f, truth %.4f, relative error %.4f\n",
-		*attr, est, truth, histwalk.RelativeError(est, truth))
-}
-
-// runEnsemble runs the multi-chain session: chains independent walkers
-// fan out on the trial-execution engine, each with its own simulator
-// cache and unique-query budget, and the estimates are merged.
-func runEnsemble(g *histwalk.Graph, factory histwalk.Factory, attr string, budget, maxSteps, chains, workers int, seed int64) {
-	design := experiment.DesignFor(factory.Name)
-	res, err := ensemble.Run(ensemble.Config{
-		Graph:            g,
-		Factory:          factory,
-		Design:           design,
-		Attr:             attr,
-		Chains:           chains,
-		BudgetPerChain:   budget,
-		MaxStepsPerChain: maxSteps,
-		Seed:             seed,
-		Parallelism:      workers,
-	})
-	if err != nil {
-		fail(err)
-	}
-	truth := g.AvgDegree()
-	if attr != "degree" {
-		truth, _ = g.MeanAttr(attr)
-	}
-	fmt.Printf("algorithm        %s (estimator design: %s)\n", factory.Name, design)
-	fmt.Printf("chains           %d × budget %d (workers %s)\n", chains, budget, workersLabel(workers))
+	est := res.Estimates[0]
+	fmt.Printf("algorithm        %s (estimator design: %s)\n", factory.Name, est.Design)
+	fmt.Printf("chains           %d × budget %d (workers %s)\n", *chains, *budget, workersLabel(*workers))
 	fmt.Printf("total steps      %d\n", res.TotalSteps)
 	fmt.Printf("unique queries   %d (per-chain caches)\n", res.TotalQueries)
-	for i, e := range res.PerChain {
-		fmt.Printf("chain %-3d        estimate %.4f\n", i, e)
+	for i, c := range res.Chains {
+		fmt.Printf("chain %-3d        start %d, %d steps, %d queries (%d cache hits), estimate %.4f\n",
+			i, c.Start, c.Steps, c.Queries, c.Requests-c.Queries, est.PerChain[i])
 	}
-	if res.GelmanRubin > 0 {
-		fmt.Printf("Gelman-Rubin R^  %.4f\n", res.GelmanRubin)
+	if est.GelmanRubin > 0 {
+		fmt.Printf("Gelman-Rubin R^  %.4f\n", est.GelmanRubin)
+	}
+	if est.HasInterval {
+		fmt.Printf("95%% interval     [%.4f, %.4f]\n", est.Interval.Low, est.Interval.High)
 	}
 	fmt.Printf("AVG(%s)          pooled estimate %.4f, truth %.4f, relative error %.4f\n",
-		attr, res.Estimate, truth, histwalk.RelativeError(res.Estimate, truth))
+		*attr, est.Point, truth, histwalk.RelativeError(est.Point, truth))
 }
 
 func workersLabel(w int) string {

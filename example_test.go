@@ -4,15 +4,38 @@ package histwalk_test
 // go test verifies its output.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"histwalk"
 )
 
-// ExampleNewCNRW shows the core sampling loop: walk under a
-// unique-query budget and estimate the average degree. On a complete
-// graph every node has the same degree, so the estimate is exact.
+// ExampleRun shows the declarative session API: describe the whole
+// sampling run as one Spec — data source, walker, budget, chains —
+// and Run executes it on the parallel engine. On a complete graph
+// every node has the same degree, so the estimate is exact.
+func ExampleRun() {
+	g := histwalk.Complete(10) // every node has degree 9
+	res, err := histwalk.Run(context.Background(), histwalk.Spec{
+		Graph:  g,
+		Walker: histwalk.CNRWFactory(),
+		Budget: 8, // unique queries per chain
+		Chains: 2,
+		Seed:   1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s = %.0f from %d chains\n",
+		res.Estimates[0].Name, res.Estimates[0].Point, len(res.Chains))
+	// Output: avg(degree) = 9 from 2 chains
+}
+
+// ExampleNewCNRW shows the manual sampling loop the session API
+// replaces (still supported): walk under a unique-query budget and
+// estimate the average degree.
 func ExampleNewCNRW() {
 	g := histwalk.Complete(10) // every node has degree 9
 	sim := histwalk.NewSimulator(g)

@@ -12,9 +12,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"histwalk"
 )
@@ -55,16 +55,29 @@ func main() {
 	fmt.Printf("exact SRW asymptotic variance of the clique indicator: %.3f\n\n", exactVar)
 
 	// --- one long CNRW chain: Geweke, ESS, automatic burn-in ---
-	rng := rand.New(rand.NewSource(1))
-	sim := histwalk.NewSimulator(g)
-	w := histwalk.NewCNRW(sim, 0, rng)
-	series := make([]float64, 40000)
-	for i := range series {
-		v, err := w.Step()
+	// A Session advances the spec's chain one transition at a time, so
+	// online consumers can derive their own series from the visited
+	// nodes — here the indicator of the largest clique.
+	s, err := histwalk.NewSession(histwalk.Spec{
+		Graph:  g,
+		Walker: histwalk.CNRWFactory(),
+		Budget: 40000,
+		Cost:   histwalk.CostSteps, // meter transitions: the walk revisits the cached graph
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	series := make([]float64, 0, 40000)
+	for {
+		u, ok, err := s.Next()
 		if err != nil {
 			log.Fatal(err)
 		}
-		series[i] = f[v]
+		if !ok {
+			break
+		}
+		series = append(series, f[u.Node])
 	}
 	z, err := histwalk.Geweke(series, 0.1, 0.5)
 	if err != nil {
@@ -83,23 +96,22 @@ func main() {
 	fmt.Printf("effective sample size ≈ %.0f (%.1f%% of nominal), auto burn-in = %d steps\n\n",
 		ess, 100*ess/float64(len(series)), burn)
 
-	// --- parallel ensemble with R̂ certification ---
-	res, err := histwalk.RunEnsemble(histwalk.EnsembleConfig{
-		Graph:          g,
-		Factory:        histwalk.CNRWFactory(),
-		Design:         histwalk.DegreeProportional,
-		Attr:           "degree",
-		Chains:         6,
-		BudgetPerChain: 30,
-		Seed:           42,
+	// --- parallel multi-chain run with R̂ certification ---
+	res, err := histwalk.Run(context.Background(), histwalk.Spec{
+		Graph:  g,
+		Walker: histwalk.CNRWFactory(),
+		Budget: 30,
+		Chains: 6,
+		Seed:   42,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ensemble of 6 CNRW chains (30 unique queries each):\n")
+	est := res.Estimates[0]
+	fmt.Printf("run of 6 CNRW chains (30 unique queries each):\n")
 	fmt.Printf("  pooled avg-degree estimate %.2f (truth %.2f, error %.1f%%)\n",
-		res.Estimate, g.AvgDegree(), 100*histwalk.RelativeError(res.Estimate, g.AvgDegree()))
-	fmt.Printf("  Gelman–Rubin R̂ = %.3f (%s)\n", res.GelmanRubin, verdict(res.GelmanRubin))
+		est.Point, g.AvgDegree(), 100*histwalk.RelativeError(est.Point, g.AvgDegree()))
+	fmt.Printf("  Gelman–Rubin R̂ = %.3f (%s)\n", est.GelmanRubin, verdict(est.GelmanRubin))
 	fmt.Printf("  total spend: %d unique queries, %d transitions\n", res.TotalQueries, res.TotalSteps)
 }
 

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -66,23 +67,21 @@ func main() {
 	fmt.Printf("either cast:  %d nodes, %d edges (needs reverse-edge verification)\n\n",
 		either.NumNodes(), either.NumEdges())
 
-	// Walk the mutual cast with CNRW under a query budget.
-	sim := histwalk.NewSimulator(mutual)
-	w := histwalk.NewCNRW(sim, 0, rng)
-	est := histwalk.NewAvgDegree(histwalk.DegreeProportional)
-	for sim.QueryCost() < 400 {
-		v, err := w.Step()
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := est.Add(mutual.Degree(v)); err != nil {
-			log.Fatal(err)
-		}
-	}
-	avg, err := est.Estimate()
+	// Walk the mutual cast with CNRW under a query budget: the whole
+	// run is one declarative spec executed by histwalk.Run.
+	res, err := histwalk.Run(context.Background(), histwalk.Spec{
+		Graph:  mutual,
+		Walker: histwalk.CNRWFactory(),
+		Budget: 400,
+		Seed:   3,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("CNRW over the mutual cast: estimated avg mutual degree %.2f (truth %.2f, error %.1f%%)\n",
-		avg, mutual.AvgDegree(), 100*histwalk.RelativeError(avg, mutual.AvgDegree()))
+	est := res.Estimates[0]
+	c := res.Chains[0]
+	fmt.Printf("CNRW over the mutual cast: %d steps, %d unique queries (%d cache hits)\n",
+		c.Steps, c.Queries, c.Requests-c.Queries)
+	fmt.Printf("estimated avg mutual degree %.2f (truth %.2f, error %.1f%%)\n",
+		est.Point, mutual.AvgDegree(), 100*histwalk.RelativeError(est.Point, mutual.AvgDegree()))
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -86,4 +87,23 @@ func main() {
 	fmt.Printf("  P_CNRW = %.5f\n", esc.PCNRW)
 	fmt.Printf("  ratio %.2f vs bound %.2f → bound satisfied: %v\n",
 		esc.Ratio, esc.Bound, esc.Ratio > esc.Bound)
+
+	// --- trap detection in practice: multi-chain R̂ on the clustered
+	// graph. Short chains starting in different cliques disagree, and
+	// the Gelman–Rubin diagnostic in the session Result flags it.
+	fmt.Println("\nshort multi-chain runs on the clustered graph (R̂ > 1.1 ⇒ chains still trapped):")
+	for _, f := range []histwalk.Factory{histwalk.SRWFactory(), histwalk.CNRWFactory()} {
+		run, err := histwalk.Run(context.Background(), histwalk.Spec{
+			Graph:  g,
+			Walker: f,
+			Budget: 120,
+			Cost:   histwalk.CostSteps,
+			Chains: 6,
+			Seed:   *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-5s R̂ = %.3f\n", f.Name, run.Estimates[0].GelmanRubin)
+	}
 }

@@ -1,10 +1,12 @@
 // Quickstart: sample an online social network through its restricted
 // neighborhood-query interface and estimate an aggregate.
 //
-// This example builds a synthetic OSN, wraps it in the simulated
-// query interface (which counts unique queries, the paper's cost
-// metric), runs the paper's CNRW sampler under a 500-query budget, and
-// prints the average-degree estimate next to the ground truth.
+// This example builds a synthetic OSN and describes the whole sampling
+// run as one declarative histwalk.Spec — the paper's CNRW sampler, a
+// 500-unique-query budget per chain, four independent chains — then
+// executes it with histwalk.Run, which fans the chains out over the
+// deterministic parallel engine and merges their estimates with a
+// confidence interval. No hand-written step/budget loop required.
 //
 // Run with:
 //
@@ -12,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -28,37 +31,36 @@ func main() {
 	fmt.Printf("graph: %d nodes, %d edges, true avg degree %.2f\n",
 		g.NumNodes(), g.NumEdges(), g.AvgDegree())
 
-	// 2. The restricted access interface: only local neighborhood
-	// queries, with unique-query accounting.
-	sim := histwalk.NewSimulator(g)
-
-	// 3. The sampler: CNRW is a drop-in replacement for the simple
-	// random walk with the same stationary distribution π(v) ∝ degree
-	// and provably no worse variance (Theorems 1-2 of the paper).
-	start := histwalk.Node(rng.Intn(g.NumNodes()))
-	walker := histwalk.NewCNRW(sim, start, rng)
-
-	// 4. The estimator: SRW-family samples are degree-biased, so the
-	// average degree uses the harmonic (ratio) correction.
-	est := histwalk.NewAvgDegree(histwalk.DegreeProportional)
-
-	const budget = 500
-	for sim.QueryCost() < budget {
-		v, err := walker.Step()
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := est.Add(g.Degree(v)); err != nil {
-			log.Fatal(err)
-		}
+	// 2. The whole run as one spec: CNRW is a drop-in replacement for
+	// the simple random walk with the same stationary distribution
+	// π(v) ∝ degree and provably no worse variance (Theorems 1-2 of
+	// the paper). The default estimator is the population average
+	// degree with the design-appropriate harmonic correction.
+	spec := histwalk.Spec{
+		Graph:  g,
+		Walker: histwalk.CNRWFactory(),
+		Budget: 500, // unique queries per chain — the paper's cost metric
+		Chains: 4,   // independent crawlers, each with its own cache
+		Seed:   7,
 	}
 
-	avg, err := est.Estimate()
+	// 3. Run it. The Result is bit-identical for any Workers setting.
+	res, err := histwalk.Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("walked %d steps, spent %d unique queries (%d served from cache)\n",
-		walker.Steps(), sim.QueryCost(), sim.TotalRequests()-sim.QueryCost())
+
+	est := res.Estimates[0]
+	fmt.Printf("walked %d steps over %d chains, spent %d unique queries\n",
+		res.TotalSteps, len(res.Chains), res.TotalQueries)
+	for i, c := range res.Chains {
+		fmt.Printf("  chain %d: start %d, %d steps, %d queries, estimate %.2f\n",
+			i, c.Start, c.Steps, c.Queries, est.PerChain[i])
+	}
 	fmt.Printf("estimated avg degree %.2f (truth %.2f, relative error %.1f%%)\n",
-		avg, g.AvgDegree(), 100*histwalk.RelativeError(avg, g.AvgDegree()))
+		est.Point, g.AvgDegree(), 100*histwalk.RelativeError(est.Point, g.AvgDegree()))
+	if est.HasInterval {
+		fmt.Printf("95%% confidence interval [%.2f, %.2f], Gelman-Rubin R^ %.3f\n",
+			est.Interval.Low, est.Interval.High, est.GelmanRubin)
+	}
 }

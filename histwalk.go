@@ -18,6 +18,11 @@
 //     as the paper's query-cost metric does;
 //   - unbiased estimators for population aggregates under
 //     degree-proportional (SRW-family) and uniform (MHRW) sampling;
+//   - a declarative sampling-run API (Spec, Run, Session): one entry
+//     point that validates a run description — data source, walker,
+//     estimators, budget, burn-in, chains, master seed — executes it on
+//     the parallel engine, and returns pooled and per-chain estimates
+//     with confidence intervals and exact query-cost accounting;
 //   - a deterministic worker-pool trial-execution engine (Engine, Job,
 //     RunParallel) that fans independent seeded trials out over all
 //     cores while keeping results bit-identical for any worker count;
@@ -25,18 +30,25 @@
 //     figure of the paper's evaluation, with every trial loop running
 //     on the engine (cmd/repro -workers selects the pool size).
 //
-// Quick start:
+// Quick start — describe the run, then execute it:
 //
 //	g := histwalk.BarabasiAlbert(10000, 5, rand.New(rand.NewSource(1)))
-//	sim := histwalk.NewSimulator(g)
-//	w := histwalk.NewCNRW(sim, 0, rand.New(rand.NewSource(2)))
-//	est := histwalk.NewAvgDegree(histwalk.DegreeProportional)
-//	for sim.QueryCost() < 500 {
-//	    v, err := w.Step()
-//	    if err != nil { ... }
-//	    est.Add(g.Degree(v))
-//	}
-//	avg, _ := est.Estimate() // ≈ g.AvgDegree()
+//	res, err := histwalk.Run(ctx, histwalk.Spec{
+//	    Graph:  g,
+//	    Walker: histwalk.CNRWFactory(),
+//	    Budget: 500, // unique queries per chain (§2.3 cost metric)
+//	    Chains: 4,   // independent crawlers on the parallel engine
+//	    Seed:   1,
+//	})
+//	est := res.Estimates[0] // avg(degree) by default
+//	// est.Point ≈ g.AvgDegree(), est.Interval is its 95% CI
+//
+// For online consumers, NewSession runs the same Spec one transition
+// at a time (Next) with streaming Progress callbacks, and its final
+// Result is identical to Run's. The pre-session manual style —
+// NewSimulator + NewCNRW + estimator + hand-written budget loop — still
+// compiles and works, as do the deprecated ensemble shims
+// (EnsembleConfig, RunEnsemble); new code should prefer Spec/Run.
 //
 // The subpackages under internal/ hold the implementation; this package
 // re-exports everything a downstream user needs.

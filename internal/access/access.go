@@ -249,14 +249,25 @@ func (b *Budgeted) Attribute(u graph.Node, name string) (float64, error) {
 	return b.inner.Attribute(u, name)
 }
 
-// SummaryAttr implements Client. Summaries are free, so no budget check.
+// SummaryAttr implements Client. Summary data rides along with owner's
+// cached neighborhood response, so it stays free as long as that
+// response is (or can still be) obtained: once the budget is spent and
+// owner is not in the cache, the call reports ErrBudgetExhausted like
+// every other method, instead of leaking the inner client's
+// ErrNotInSummary.
 func (b *Budgeted) SummaryAttr(owner, w graph.Node, name string) (float64, error) {
+	if err := b.guard(owner); err != nil {
+		return 0, err
+	}
 	return b.inner.SummaryAttr(owner, w, name)
 }
 
-// SummaryDegree implements Client. Summaries are free, so no budget
-// check.
+// SummaryDegree implements Client, under the same budget rule as
+// SummaryAttr.
 func (b *Budgeted) SummaryDegree(owner, w graph.Node) (int, error) {
+	if err := b.guard(owner); err != nil {
+		return 0, err
+	}
 	return b.inner.SummaryDegree(owner, w)
 }
 

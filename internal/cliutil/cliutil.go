@@ -1,0 +1,17 @@
+// Package cliutil holds small helpers shared by the cmd/ programs.
+package cliutil
+
+import "flag"
+
+// ExplicitFlag reports whether the user set the named flag on the
+// command line (as opposed to its default applying). It must be called
+// after flag.Parse.
+func ExplicitFlag(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"histwalk/internal/access"
+	"histwalk/internal/graph"
+)
+
+// Regression test for budget exhaustion mid-walk: every walker driven
+// through a Budgeted client must surface ErrBudgetExhausted (not some
+// wrapped summary/cache error) once the budget runs dry, without
+// moving, and must leave the spend exactly at the budget.
+func TestWalkersSurfaceBudgetExhaustionMidWalk(t *testing.T) {
+	g := graph.ClusteredCliques([]int{6, 8, 10})
+	factories := append(degreeProportionalWalkers(), MHRWFactory())
+	const budget = 5
+	for _, f := range factories {
+		rng := rand.New(rand.NewSource(19))
+		b := access.NewBudgeted(access.NewSimulator(g), budget)
+		w := f.New(b, 0, rng)
+		var exhausted error
+		for s := 0; s < 10000; s++ {
+			before := w.Current()
+			if _, err := w.Step(); err != nil {
+				if !errors.Is(err, access.ErrBudgetExhausted) {
+					t.Fatalf("%s: err = %v, want ErrBudgetExhausted", f.Name, err)
+				}
+				if w.Current() != before {
+					t.Fatalf("%s: walker moved on the exhausted step", f.Name)
+				}
+				exhausted = err
+				break
+			}
+		}
+		if exhausted == nil {
+			t.Fatalf("%s: walk of 10000 steps never exhausted a budget of %d", f.Name, budget)
+		}
+		if b.QueryCost() != budget {
+			t.Fatalf("%s: spent %d unique queries, budget %d", f.Name, b.QueryCost(), budget)
+		}
+		// the error is sticky: further steps keep failing the same way
+		if _, err := w.Step(); !errors.Is(err, access.ErrBudgetExhausted) {
+			t.Fatalf("%s: post-exhaustion step err = %v", f.Name, err)
+		}
+	}
+}

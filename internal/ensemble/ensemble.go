@@ -1,30 +1,30 @@
 // Package ensemble runs fleets of independent random-walk samplers in
 // parallel — the practical deployment mode for OSN crawling, where each
 // crawler account has its own rate limit and cache — and merges their
-// estimates. It also exposes the per-chain sample paths so convergence
-// diagnostics (Gelman–Rubin across chains) can certify the result.
+// estimates.
 //
-// The design follows the observation of Alon et al. ("many random walks
-// are faster than one", cited as [3] by the paper) that independent
-// parallel walks cover a graph faster than one long walk of the same
-// total length.
+// Deprecated: this package predates the declarative session API and is
+// kept as a thin compatibility shim. Run is now a wrapper over
+// session.Run (with the legacy "ensemble" seed stream, so existing
+// seeds reproduce the same walks); new code should build a session.Spec
+// directly, which additionally provides confidence intervals, burn-in,
+// thinning and multiple estimators per run.
 package ensemble
 
 import (
 	"context"
 	"errors"
-	"fmt"
-	"math/rand"
 
-	"histwalk/internal/access"
 	"histwalk/internal/core"
-	"histwalk/internal/diagnostics"
 	"histwalk/internal/engine"
 	"histwalk/internal/estimate"
 	"histwalk/internal/graph"
+	"histwalk/internal/session"
 )
 
 // Config parameterizes a parallel sampling run.
+//
+// Deprecated: use session.Spec.
 type Config struct {
 	// Graph is the network to sample.
 	Graph *graph.Graph
@@ -49,12 +49,14 @@ type Config struct {
 }
 
 // Result is the merged outcome of a parallel sampling run.
+//
+// Deprecated: use session.Result.
 type Result struct {
 	// Estimate is the pooled estimate over all chains' samples.
 	Estimate float64
 	// PerChain holds each chain's own estimate.
 	PerChain []float64
-	// GelmanRubin is R̂ over the chains' sample paths (NaN when not
+	// GelmanRubin is R̂ over the chains' sample paths (0 when not
 	// computable, e.g. a single chain).
 	GelmanRubin float64
 	// TotalQueries sums the unique queries across chains (each crawler
@@ -64,9 +66,15 @@ type Result struct {
 	TotalSteps int
 }
 
-// Run executes the ensemble on the worker-pool engine. Chains run
+// ensembleStream is the legacy seed stream, preserved so runs keep
+// reproducing the exact walks they produced before the session API.
+var ensembleStream = engine.StreamID("ensemble")
+
+// Run executes the ensemble through session.Run. Chains run
 // concurrently; the merge is deterministic given Config.Seed regardless
 // of scheduling.
+//
+// Deprecated: use session.Run.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Graph == nil {
 		return nil, errors.New("ensemble: nil graph")
@@ -77,125 +85,39 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.BudgetPerChain < 1 {
 		return nil, errors.New("ensemble: BudgetPerChain must be >= 1")
 	}
+	design := session.DesignDegreeProportional
+	if cfg.Design == estimate.Uniform {
+		design = session.DesignUniform
+	}
 	maxSteps := cfg.MaxStepsPerChain
-	if maxSteps <= 0 {
-		maxSteps = 200 * cfg.BudgetPerChain
+	if maxSteps < 0 {
+		maxSteps = 0
 	}
 	par := cfg.Parallelism
-	if par <= 0 || par > cfg.Chains {
-		par = cfg.Chains
+	if par < 0 {
+		par = 0
 	}
-
-	outs := make([]chainOut, cfg.Chains)
-	eng := engine.New(engine.Options{Workers: par})
-	err := eng.Each(context.Background(), cfg.Chains, func(_ context.Context, c int) error {
-		outs[c] = runChain(cfg, c, maxSteps)
-		if outs[c].err != nil {
-			return fmt.Errorf("ensemble: chain %d: %w", c, outs[c].err)
-		}
-		return nil
+	res, err := session.Run(context.Background(), session.Spec{
+		Graph:      cfg.Graph,
+		Walker:     cfg.Factory,
+		Design:     design,
+		Estimators: []session.EstimatorSpec{{Kind: session.AggMean, Attr: cfg.Attr}},
+		Budget:     cfg.BudgetPerChain,
+		MaxSteps:   maxSteps,
+		Chains:     cfg.Chains,
+		Workers:    par,
+		Seed:       cfg.Seed,
+		Stream:     ensembleStream,
 	})
 	if err != nil {
 		return nil, err
 	}
-
-	res := &Result{}
-	pooled := estimate.NewMean(cfg.Design)
-	var chains [][]float64
-	minLen := -1
-	for c := range outs {
-		o := &outs[c]
-		chain := estimate.NewMean(cfg.Design)
-		for i := range o.values {
-			if err := pooled.Add(o.values[i], o.degrees[i]); err != nil {
-				return nil, err
-			}
-			if err := chain.Add(o.values[i], o.degrees[i]); err != nil {
-				return nil, err
-			}
-		}
-		est, err := chain.Estimate()
-		if err != nil {
-			return nil, fmt.Errorf("ensemble: chain %d produced no samples", c)
-		}
-		res.PerChain = append(res.PerChain, est)
-		res.TotalQueries += o.queries
-		res.TotalSteps += o.steps
-		chains = append(chains, o.values)
-		if minLen < 0 || len(o.values) < minLen {
-			minLen = len(o.values)
-		}
-	}
-	est, err := pooled.Estimate()
-	if err != nil {
-		return nil, err
-	}
-	res.Estimate = est
-
-	// R̂ over equal-length prefixes of the chains' raw measure series.
-	if cfg.Chains >= 2 && minLen >= 4 {
-		trimmed := make([][]float64, len(chains))
-		for i, c := range chains {
-			trimmed[i] = c[:minLen]
-		}
-		r, err := diagnostics.GelmanRubin(trimmed)
-		if err == nil {
-			res.GelmanRubin = r
-		}
-	}
-	return res, nil
-}
-
-// chainOut is one chain's raw sample path and accounting.
-type chainOut struct {
-	values  []float64
-	degrees []int
-	queries int
-	steps   int
-	err     error
-}
-
-// ensembleStream separates ensemble chain seeds from the experiment
-// harness's trial seeds under a shared master seed.
-var ensembleStream = engine.StreamID("ensemble")
-
-// runChain executes one walker to its budget.
-func runChain(cfg Config, c, maxSteps int) (out chainOut) {
-	rng := rand.New(rand.NewSource(engine.TrialSeed(cfg.Seed, ensembleStream, c)))
-	sim := access.NewSimulator(cfg.Graph)
-	n := cfg.Graph.NumNodes()
-	if n == 0 {
-		out.err = errors.New("empty graph")
-		return
-	}
-	start := graph.Node(rng.Intn(n))
-	for tries := 0; cfg.Graph.Degree(start) == 0 && tries < 10*n; tries++ {
-		start = graph.Node(rng.Intn(n))
-	}
-	w := cfg.Factory.New(sim, start, rng)
-	for sim.QueryCost() < cfg.BudgetPerChain && out.steps < maxSteps {
-		v, err := w.Step()
-		if err != nil {
-			out.err = err
-			return
-		}
-		deg := cfg.Graph.Degree(v)
-		val := float64(deg)
-		if cfg.Attr != "" && cfg.Attr != "degree" {
-			x, ok := cfg.Graph.AttrValue(cfg.Attr, v)
-			if !ok {
-				out.err = fmt.Errorf("graph lacks attribute %q", cfg.Attr)
-				return
-			}
-			val = x
-		}
-		out.values = append(out.values, val)
-		out.degrees = append(out.degrees, deg)
-		out.steps++
-		if sim.QueryCost() >= cfg.Graph.NumNodes() {
-			break // whole graph cached; budget unreachable
-		}
-	}
-	out.queries = sim.QueryCost()
-	return
+	e := res.Estimates[0]
+	return &Result{
+		Estimate:     e.Point,
+		PerChain:     e.PerChain,
+		GelmanRubin:  e.GelmanRubin,
+		TotalQueries: res.TotalQueries,
+		TotalSteps:   res.TotalSteps,
+	}, nil
 }

@@ -103,22 +103,42 @@ func (m *MeanCI) Estimate() (float64, error) { return m.inner.Estimate() }
 // the given level (0.90, 0.95 or 0.99). At least two completed batches
 // are required.
 func (m *MeanCI) Interval(confidence float64) (Interval, error) {
-	z, err := zFor(confidence)
-	if err != nil {
-		return Interval{}, err
-	}
 	point, err := m.Estimate()
 	if err != nil {
 		return Interval{}, err
 	}
-	nb := len(m.batchW)
+	return IntervalFromComponents(point, confidence, m.batchW, m.batchWF)
+}
+
+// Components returns copies of the per-batch ratio components (Σw and
+// Σw·f of each completed batch). Batches from independent chains of the
+// same design may be concatenated and fed to IntervalFromComponents to
+// build a pooled interval.
+func (m *MeanCI) Components() (w, wf []float64) {
+	return append([]float64(nil), m.batchW...), append([]float64(nil), m.batchWF...)
+}
+
+// IntervalFromComponents builds the batch-means delta-method confidence
+// interval around point from per-batch ratio components (parallel
+// slices of Σw and Σw·f). At least two batches are required. The
+// batches may come from one chain (MeanCI.Components) or be pooled
+// across independent chains.
+func IntervalFromComponents(point, confidence float64, batchW, batchWF []float64) (Interval, error) {
+	z, err := zFor(confidence)
+	if err != nil {
+		return Interval{}, err
+	}
+	if len(batchW) != len(batchWF) {
+		return Interval{}, fmt.Errorf("estimate: %d weight batches but %d weighted-sum batches", len(batchW), len(batchWF))
+	}
+	nb := len(batchW)
 	if nb < 2 {
 		return Interval{}, fmt.Errorf("estimate: need >= 2 completed batches, have %d", nb)
 	}
 	// Ratio estimator R = ΣWF/ΣW. Delta method over batch replicates:
 	// var(R) ≈ (1/(nb·W̄²)) · S²(WF_i − R·W_i) / nb-denominator.
 	var sumW float64
-	for _, w := range m.batchW {
+	for _, w := range batchW {
 		sumW += w
 	}
 	wBar := sumW / float64(nb)
@@ -126,8 +146,8 @@ func (m *MeanCI) Interval(confidence float64) (Interval, error) {
 		return Interval{}, errors.New("estimate: degenerate weights")
 	}
 	var ss float64
-	for i := range m.batchW {
-		d := m.batchWF[i] - point*m.batchW[i]
+	for i := range batchW {
+		d := batchWF[i] - point*batchW[i]
 		ss += d * d
 	}
 	s2 := ss / float64(nb-1)
@@ -138,6 +158,13 @@ func (m *MeanCI) Interval(confidence float64) (Interval, error) {
 		High:   point + z*se,
 		StdErr: se,
 	}, nil
+}
+
+// ValidConfidence reports whether the confidence level is one of the
+// supported two-sided levels (0.90, 0.95, 0.99).
+func ValidConfidence(confidence float64) bool {
+	_, err := zFor(confidence)
+	return err == nil
 }
 
 // ConditionalMean estimates a conditional aggregate — the mean of a

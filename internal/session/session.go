@@ -1,0 +1,756 @@
+// Package session is the library's high-level entry point: a
+// declarative Spec describing one complete sampling run — the data
+// source (an in-memory graph or a live access.Client), the walker, the
+// aggregates to estimate, the unique-query budget, burn-in/thinning,
+// the number of independent chains and the master seed — executed
+// either in one shot by Run or incrementally through a Session.
+//
+// Run fans the chains out over the deterministic worker-pool engine
+// with the established seed-stream discipline (chain c's RNG seed is
+// TrialSeed(Seed, Stream, c)), so for a fixed Spec the Result is
+// bit-identical for every Workers setting. A Session advances the same
+// chains one transition at a time from a single goroutine — useful for
+// online consumers that want to watch estimates converge — and its
+// final Result is identical to Run's for the same Spec.
+//
+// This is the paper's value proposition as an API: hand it a
+// restrictive OSN interface and a query budget, get back an unbiased
+// estimate with a confidence interval and exact query-cost accounting,
+// with no hand-written step/burn-in/budget loop.
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"histwalk/internal/access"
+	"histwalk/internal/core"
+	"histwalk/internal/diagnostics"
+	"histwalk/internal/engine"
+	"histwalk/internal/estimate"
+	"histwalk/internal/graph"
+)
+
+// DesignChoice selects the estimator's stationary-distribution
+// correction, or defers to the walker.
+type DesignChoice int
+
+const (
+	// DesignAuto derives the design from the walker's name (MHRW is
+	// uniform, everything else degree-proportional).
+	DesignAuto DesignChoice = iota
+	// DesignDegreeProportional forces π(v) ∝ k_v reweighting.
+	DesignDegreeProportional
+	// DesignUniform forces the plain sample mean.
+	DesignUniform
+)
+
+// Aggregate identifies the kind of population aggregate an
+// EstimatorSpec computes.
+type Aggregate int
+
+const (
+	// AggMean estimates the population mean of the measure attribute.
+	AggMean Aggregate = iota
+	// AggAvgDegree estimates the population average degree (AggMean
+	// over the node degree; Attr is ignored).
+	AggAvgDegree
+	// AggProportion estimates the fraction of nodes whose measured
+	// value satisfies Predicate.
+	AggProportion
+)
+
+// EstimatorSpec declares one aggregate to estimate during the run.
+type EstimatorSpec struct {
+	// Name labels the estimate in the Result. Empty derives a label
+	// from the kind and attribute, e.g. "avg(degree)".
+	Name string
+	// Kind selects the aggregate.
+	Kind Aggregate
+	// Attr is the measure attribute; "" or "degree" measures the node
+	// degree. Ignored by AggAvgDegree.
+	Attr string
+	// Predicate classifies a measured value for AggProportion
+	// (required for that kind, ignored otherwise). It must be pure.
+	Predicate func(value float64) bool
+}
+
+// attr returns the effective measure attribute.
+func (e EstimatorSpec) attr() string {
+	if e.Kind == AggAvgDegree {
+		return "degree"
+	}
+	return e.Attr
+}
+
+// label returns the display name of the estimate.
+func (e EstimatorSpec) label() string {
+	if e.Name != "" {
+		return e.Name
+	}
+	a := e.attr()
+	if a == "" {
+		a = "degree"
+	}
+	if e.Kind == AggProportion {
+		return "proportion(" + a + ")"
+	}
+	return "avg(" + a + ")"
+}
+
+// transform maps a raw measured value to the value the estimator
+// averages (the 0/1 indicator for proportions).
+func (e EstimatorSpec) transform(raw float64) float64 {
+	if e.Kind == AggProportion {
+		if e.Predicate(raw) {
+			return 1
+		}
+		return 0
+	}
+	return raw
+}
+
+// Spec declares one sampling run. The zero value is not runnable; at
+// minimum Graph or Client, Walker and Budget must be set. All other
+// fields have working defaults (see each field's comment).
+type Spec struct {
+	// Graph is the network to sample in simulation mode: every chain
+	// gets its own access.Simulator over it (private cache, private
+	// unique-query accounting). Exactly one of Graph and Client must
+	// be set.
+	Graph *graph.Graph
+	// Client is a live restricted-access interface to walk directly
+	// (online mode). A shared client has one cache and one query
+	// counter, so Client mode supports a single chain. If the client
+	// enforces a budget itself (access.Budgeted), hitting
+	// ErrBudgetExhausted ends the run cleanly rather than failing it.
+	Client access.Client
+	// Start is the chain's start node in Client mode (Graph mode draws
+	// a uniform non-isolated start per chain from the chain's RNG).
+	Start graph.Node
+
+	// Walker builds one fresh walker per chain.
+	Walker core.Factory
+	// Design selects the estimator correction (default: derived from
+	// the walker's name).
+	Design DesignChoice
+	// Estimators lists the aggregates to estimate. Empty defaults to
+	// a single average-degree estimator.
+	Estimators []EstimatorSpec
+
+	// Budget is the per-chain query budget (>= 1). Under CostUnique it
+	// counts unique queries issued by this run; under CostSteps it
+	// counts transitions.
+	Budget int
+	// Cost selects the budget metering (default CostUnique, the
+	// paper's §2.3 definition).
+	Cost engine.CostModel
+	// MaxSteps caps each chain's transitions (0 = 200×Budget under
+	// CostUnique; under CostSteps the budget itself is the cap).
+	MaxSteps int
+	// BurnIn discards each chain's first BurnIn samples.
+	BurnIn int
+	// Thin keeps every Thin-th post-burn-in sample (0 or 1 = all).
+	Thin int
+
+	// Chains is the number of independent walkers (0 = 1). Each chain
+	// has its own RNG, cache and budget — the practical OSN deployment
+	// mode, where every crawler account is rate-limited separately.
+	Chains int
+	// Workers caps how many chains run concurrently in Run (0 = one
+	// worker per chain). The Result is bit-identical for every value.
+	Workers int
+	// Seed is the master seed; chain c runs with
+	// TrialSeed(Seed, Stream, c).
+	Seed int64
+	// Stream separates seed streams of runs sharing a master seed
+	// (0 = StreamID("session")).
+	Stream uint64
+
+	// Confidence is the level for the reported intervals: 0.90, 0.95
+	// or 0.99 (0 = 0.95).
+	Confidence float64
+	// CIBatch is the batch size of the batch-means interval
+	// construction (0 = 50). Pick at least a few mixing times.
+	CIBatch int
+
+	// Progress, when non-nil, streams run progress: Run reports chain
+	// completions (serialized), a Session reports after every
+	// transition.
+	Progress func(Progress)
+
+	// autoMaxSteps records that MaxSteps was defaulted rather than set
+	// by the caller, enabling the Client-mode saturation cap.
+	autoMaxSteps bool
+}
+
+// Progress is a snapshot of a run in flight.
+type Progress struct {
+	// Chains and ChainsDone count total and finished chains.
+	Chains, ChainsDone int
+	// Steps, Spent and Samples are totals across chains (only
+	// populated by Session, which observes every transition).
+	Steps, Spent, Samples int
+}
+
+// Validate checks the spec without running it.
+func (s Spec) Validate() error {
+	if (s.Graph == nil) == (s.Client == nil) {
+		return errors.New("session: exactly one of Graph and Client must be set")
+	}
+	if s.Client != nil && s.Chains > 1 {
+		return errors.New("session: a shared Client supports one chain; use Graph for multi-chain fan-out")
+	}
+	if s.Walker.New == nil {
+		return errors.New("session: Walker factory without constructor")
+	}
+	if s.Budget < 1 {
+		return errors.New("session: Budget must be >= 1")
+	}
+	if s.MaxSteps < 0 || s.BurnIn < 0 || s.Thin < 0 || s.Chains < 0 || s.Workers < 0 || s.CIBatch < 0 {
+		return errors.New("session: MaxSteps, BurnIn, Thin, Chains, Workers and CIBatch must be >= 0")
+	}
+	if s.Confidence != 0 && !estimate.ValidConfidence(s.Confidence) {
+		return fmt.Errorf("session: unsupported confidence level %v (use 0.90, 0.95 or 0.99)", s.Confidence)
+	}
+	if s.Cost != engine.CostUnique && s.Cost != engine.CostSteps {
+		return fmt.Errorf("session: unknown cost model %d", int(s.Cost))
+	}
+	if s.Graph != nil && s.Start != 0 {
+		return errors.New("session: Start is only used in Client mode; Graph mode draws each chain's start from its RNG")
+	}
+	switch s.Design {
+	case DesignAuto, DesignDegreeProportional, DesignUniform:
+	default:
+		return fmt.Errorf("session: unknown design choice %d", int(s.Design))
+	}
+	for i, e := range s.Estimators {
+		switch e.Kind {
+		case AggMean, AggAvgDegree:
+		case AggProportion:
+			if e.Predicate == nil {
+				return fmt.Errorf("session: estimator %d (%s) is a proportion without a Predicate", i, e.label())
+			}
+		default:
+			return fmt.Errorf("session: estimator %d has unknown kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// defaultStream separates session chain seeds from the experiment
+// harness's and the legacy ensemble's trial seeds.
+var defaultStream = engine.StreamID("session")
+
+// normalize validates s and returns a copy with defaults applied.
+func normalize(s Spec) (*Spec, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Chains == 0 {
+		s.Chains = 1
+	}
+	if s.Workers == 0 {
+		s.Workers = s.Chains
+	}
+	if s.Thin == 0 {
+		s.Thin = 1
+	}
+	if s.MaxSteps == 0 {
+		s.autoMaxSteps = true
+		if s.Cost == engine.CostSteps {
+			s.MaxSteps = s.Budget
+		} else {
+			s.MaxSteps = 200 * s.Budget
+		}
+	}
+	if s.Confidence == 0 {
+		s.Confidence = 0.95
+	}
+	if s.CIBatch == 0 {
+		s.CIBatch = 50
+	}
+	if s.Stream == 0 {
+		s.Stream = defaultStream
+	}
+	if len(s.Estimators) == 0 {
+		s.Estimators = []EstimatorSpec{{Kind: AggAvgDegree}}
+	}
+	return &s, nil
+}
+
+// design resolves the estimator design.
+func (s *Spec) design() estimate.Design {
+	switch s.Design {
+	case DesignDegreeProportional:
+		return estimate.DegreeProportional
+	case DesignUniform:
+		return estimate.Uniform
+	default:
+		return engine.DesignFor(s.Walker.Name)
+	}
+}
+
+// Estimate is one aggregate's outcome: the pooled point estimate over
+// all chains, a batch-means confidence interval when enough samples
+// accumulated, per-chain estimates and the Gelman–Rubin diagnostic.
+type Estimate struct {
+	// Name is the estimator's label.
+	Name string
+	// Design is the correction the estimate was computed under.
+	Design estimate.Design
+	// Point is the pooled estimate over all chains' retained samples.
+	Point float64
+	// Interval is the Spec.Confidence interval around Point, pooled
+	// from the chains' batch-means components; valid iff HasInterval.
+	Interval estimate.Interval
+	// HasInterval reports whether enough complete batches accumulated
+	// to build Interval.
+	HasInterval bool
+	// PerChain holds each chain's own estimate.
+	PerChain []float64
+	// GelmanRubin is R̂ across the chains' retained sample series
+	// (0 when not computable, e.g. a single chain).
+	GelmanRubin float64
+	// Samples is the number of retained samples pooled into Point.
+	Samples int
+}
+
+// ChainResult is one chain's accounting.
+type ChainResult struct {
+	// Seed is the chain's derived RNG seed.
+	Seed int64
+	// Start is the node the chain's walk began at.
+	Start graph.Node
+	// Steps is the number of transitions performed.
+	Steps int
+	// Queries is the budget spend (unique queries under CostUnique).
+	Queries int
+	// Requests counts all requests including cache hits (0 when the
+	// client does not report it).
+	Requests int
+	// Samples is the number of retained samples after burn-in and
+	// thinning.
+	Samples int
+}
+
+// Result is the outcome of a sampling run.
+type Result struct {
+	// Estimates holds one entry per EstimatorSpec, in spec order.
+	Estimates []Estimate
+	// Chains holds per-chain accounting, in chain order.
+	Chains []ChainResult
+	// TotalSteps sums the transitions across chains.
+	TotalSteps int
+	// TotalQueries sums the budget spend across chains (each chain has
+	// its own cache, so queries are not shared).
+	TotalQueries int
+}
+
+// Lookup returns the estimate with the given label.
+func (r *Result) Lookup(name string) (Estimate, bool) {
+	for _, e := range r.Estimates {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Estimate{}, false
+}
+
+// Run executes the spec's chains on the worker-pool engine and merges
+// their estimates. For a fixed Spec the Result is bit-identical for
+// every Workers value; ctx cancellation stops the pool.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	sp, err := normalize(spec)
+	if err != nil {
+		return nil, err
+	}
+	chains := make([]*chainRun, sp.Chains)
+	var hook func(done, total int)
+	if sp.Progress != nil {
+		hook = func(done, total int) {
+			sp.Progress(Progress{Chains: total, ChainsDone: done})
+		}
+	}
+	eng := engine.New(engine.Options{Workers: sp.Workers, Progress: hook})
+	err = eng.Each(ctx, sp.Chains, func(ctx context.Context, c int) error {
+		cr, err := newChain(sp, c)
+		if err != nil {
+			return err
+		}
+		chains[c] = cr
+		return cr.runToCompletion(ctx, sp)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return merge(sp, chains)
+}
+
+// Update reports one Session transition.
+type Update struct {
+	// Chain is the chain that moved.
+	Chain int
+	// Node is the node the chain arrived at.
+	Node graph.Node
+	// Step is the chain's transition count after this move.
+	Step int
+	// Spent is the chain's budget spend after this move.
+	Spent int
+	// Sampled reports whether the sample was retained (past burn-in
+	// and on the thinning grid).
+	Sampled bool
+}
+
+// Session advances a Spec's chains incrementally from a single
+// goroutine: each Next performs one transition, rotating round-robin
+// over the chains still inside their budgets. Because chains share no
+// state, the interleaving does not affect any chain's path, and the
+// final Result is identical to Run's for the same Spec. A Session is
+// not safe for concurrent use.
+type Session struct {
+	sp       *Spec
+	chains   []*chainRun
+	cursor   int
+	reported bool // final Progress callback already delivered
+}
+
+// NewSession validates the spec and prepares its chains without
+// stepping them.
+func NewSession(spec Spec) (*Session, error) {
+	sp, err := normalize(spec)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{sp: sp, chains: make([]*chainRun, sp.Chains)}
+	for c := range s.chains {
+		cr, err := newChain(sp, c)
+		if err != nil {
+			return nil, err
+		}
+		s.chains[c] = cr
+	}
+	return s, nil
+}
+
+// Next performs one transition on the next active chain. ok is false
+// once every chain has finished its budget (the Update is then zero).
+func (s *Session) Next() (u Update, ok bool, err error) {
+	n := len(s.chains)
+	for scanned := 0; scanned < n; {
+		cr := s.chains[s.cursor]
+		if cr.done {
+			s.cursor = (s.cursor + 1) % n
+			scanned++
+			continue
+		}
+		u, stepped, err := cr.advance(s.sp)
+		if err != nil {
+			return Update{}, false, err
+		}
+		if !stepped { // chain just hit a stop condition without moving
+			s.cursor = (s.cursor + 1) % n
+			scanned++
+			continue
+		}
+		s.cursor = (s.cursor + 1) % n
+		if s.sp.Progress != nil {
+			s.sp.Progress(s.snapshot())
+		}
+		return u, true, nil
+	}
+	// All chains finished: stream one final snapshot so Progress
+	// consumers observe ChainsDone == Chains, as Run's hook does.
+	if s.sp.Progress != nil && !s.reported {
+		s.reported = true
+		s.sp.Progress(s.snapshot())
+	}
+	return Update{}, false, nil
+}
+
+// Done reports whether every chain has finished.
+func (s *Session) Done() bool {
+	for _, cr := range s.chains {
+		if !cr.done {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshot sums the chains' progress counters.
+func (s *Session) snapshot() Progress {
+	p := Progress{Chains: len(s.chains)}
+	for _, cr := range s.chains {
+		if cr.done {
+			p.ChainsDone++
+		}
+		p.Steps += cr.steps
+		p.Spent += cr.spend(s.sp)
+		p.Samples += len(cr.degrees)
+	}
+	return p
+}
+
+// Result merges the chains' samples into estimates. It may be called
+// mid-run for a partial result (every chain must have produced at
+// least one retained sample) and again later; the final call, after
+// Next has returned ok == false, equals Run's Result for the same
+// Spec.
+func (s *Session) Result() (*Result, error) {
+	return merge(s.sp, s.chains)
+}
+
+// chainRun is one chain's in-flight state. Chains share nothing, so a
+// chainRun is confined to whichever goroutine drives it.
+type chainRun struct {
+	idx    int
+	seed   int64
+	client access.Client
+	sim    *access.Simulator // nil in Client mode
+	base   int               // Client mode: query cost at chain start
+	walker core.Walker
+	start  graph.Node
+	steps  int
+	done   bool
+
+	// retained samples
+	degrees []int
+	values  [][]float64 // [estimator][sample] raw measured values
+
+	scratch []float64 // per-step measure buffer, reused across steps
+}
+
+// newChain derives chain c's seed, builds its private client (Graph
+// mode) and positions its walker.
+func newChain(sp *Spec, c int) (*chainRun, error) {
+	seed := engine.TrialSeed(sp.Seed, sp.Stream, c)
+	rng := rand.New(rand.NewSource(seed))
+	cr := &chainRun{
+		idx:     c,
+		seed:    seed,
+		values:  make([][]float64, len(sp.Estimators)),
+		scratch: make([]float64, len(sp.Estimators)),
+	}
+	if sp.Graph != nil {
+		cr.sim = access.NewSimulator(sp.Graph)
+		cr.client = cr.sim
+		start, err := engine.RandomStart(sp.Graph, rng)
+		if err != nil {
+			return nil, fmt.Errorf("session: chain %d: %w", c, err)
+		}
+		cr.start = start
+	} else {
+		cr.client = sp.Client
+		cr.base = sp.Client.QueryCost()
+		cr.start = sp.Start
+	}
+	cr.walker = sp.Walker.New(cr.client, cr.start, rng)
+	return cr, nil
+}
+
+// spend returns the chain's budget consumption under the spec's cost
+// model.
+func (cr *chainRun) spend(sp *Spec) int {
+	if sp.Cost == engine.CostSteps {
+		return cr.steps
+	}
+	return cr.client.QueryCost() - cr.base
+}
+
+// advance performs one transition if the chain is still inside its
+// budget and step cap; otherwise it marks the chain done. stepped
+// reports whether a transition actually happened. A budget-exhausted
+// error from the client (access.Budgeted in Client mode) ends the
+// chain cleanly.
+func (cr *chainRun) advance(sp *Spec) (u Update, stepped bool, err error) {
+	if cr.done {
+		return Update{}, false, nil
+	}
+	if cr.spend(sp) >= sp.Budget || cr.steps >= sp.MaxSteps {
+		cr.done = true
+		return Update{}, false, nil
+	}
+	v, err := cr.walker.Step()
+	if err != nil {
+		if errors.Is(err, access.ErrBudgetExhausted) {
+			cr.done = true
+			return Update{}, false, nil
+		}
+		cr.done = true
+		return Update{}, false, fmt.Errorf("session: chain %d (%s) step %d: %w", cr.idx, sp.Walker.Name, cr.steps, err)
+	}
+	deg, vals, err := cr.measure(sp, v)
+	if err != nil {
+		if errors.Is(err, access.ErrBudgetExhausted) {
+			cr.done = true
+			return Update{}, false, nil
+		}
+		cr.done = true
+		return Update{}, false, fmt.Errorf("session: chain %d: %w", cr.idx, err)
+	}
+	s := cr.steps
+	cr.steps++
+	sampled := s >= sp.BurnIn && (s-sp.BurnIn)%sp.Thin == 0
+	if sampled {
+		cr.degrees = append(cr.degrees, deg)
+		for e := range vals {
+			cr.values[e] = append(cr.values[e], vals[e])
+		}
+	}
+	// Unique queries can never exceed the node count: once the whole
+	// graph is cached, larger budgets are unreachable — stop.
+	if cr.sim != nil && sp.Cost == engine.CostUnique && cr.sim.QueryCost() >= sp.Graph.NumNodes() {
+		cr.done = true
+	}
+	// Client mode has no node count to detect saturation against, so
+	// when MaxSteps was defaulted, bound the walk by its own progress
+	// instead: the Graph-mode default allows 200 steps per budgeted
+	// query, so a walk that has taken 200×(spend+1) steps has stopped
+	// paying — its remaining budget is unreachable (e.g. a Budgeted
+	// client whose budget exceeds the reachable component).
+	if cr.sim == nil && sp.autoMaxSteps && sp.Cost == engine.CostUnique &&
+		cr.steps >= 200*(cr.spend(sp)+1) {
+		cr.done = true
+	}
+	return Update{Chain: cr.idx, Node: v, Step: cr.steps, Spent: cr.spend(sp), Sampled: sampled}, true, nil
+}
+
+// measure evaluates every estimator's measure attribute at v, into the
+// chain's scratch buffer (valid until the next call). Graph mode reads
+// the graph directly (free, like the experiment harness); Client mode
+// queries the client, which costs at most one unique query since v
+// lands in the cache on first touch.
+func (cr *chainRun) measure(sp *Spec, v graph.Node) (int, []float64, error) {
+	vals := cr.scratch
+	if sp.Graph != nil {
+		deg := sp.Graph.Degree(v)
+		for e, es := range sp.Estimators {
+			val, _, err := engine.Measure(sp.Graph, es.attr(), v)
+			if err != nil {
+				return 0, nil, err
+			}
+			vals[e] = val
+		}
+		return deg, vals, nil
+	}
+	deg, err := cr.client.Degree(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	for e, es := range sp.Estimators {
+		a := es.attr()
+		if a == "" || a == "degree" {
+			vals[e] = float64(deg)
+			continue
+		}
+		x, err := cr.client.Attribute(v, a)
+		if err != nil {
+			return 0, nil, err
+		}
+		vals[e] = x
+	}
+	return deg, vals, nil
+}
+
+// runToCompletion drives the chain until it finishes or ctx is
+// canceled.
+func (cr *chainRun) runToCompletion(ctx context.Context, sp *Spec) error {
+	for !cr.done {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, _, err := cr.advance(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// merge pools the chains' retained samples into the Result. The merge
+// is sequential and ordered by chain index, so it is deterministic
+// regardless of how the chains were scheduled.
+func merge(sp *Spec, chains []*chainRun) (*Result, error) {
+	res := &Result{}
+	for _, cr := range chains {
+		c := ChainResult{
+			Seed:    cr.seed,
+			Start:   cr.start,
+			Steps:   cr.steps,
+			Queries: cr.spend(sp),
+			Samples: len(cr.degrees),
+		}
+		if cr.sim != nil {
+			c.Requests = cr.sim.TotalRequests()
+		}
+		res.Chains = append(res.Chains, c)
+		res.TotalSteps += cr.steps
+		res.TotalQueries += c.Queries
+	}
+	design := sp.design()
+	for e, es := range sp.Estimators {
+		pooled := estimate.NewMean(design)
+		var perChain []float64
+		var allW, allWF []float64
+		var series [][]float64
+		minLen, samples := -1, 0
+		for _, cr := range chains {
+			ci, err := estimate.NewMeanCI(design, sp.CIBatch)
+			if err != nil {
+				return nil, err
+			}
+			vals := make([]float64, len(cr.degrees))
+			for i, raw := range cr.values[e] {
+				val := es.transform(raw)
+				vals[i] = val
+				if err := pooled.Add(val, cr.degrees[i]); err != nil {
+					return nil, fmt.Errorf("session: %s: %w", es.label(), err)
+				}
+				if err := ci.Add(val, cr.degrees[i]); err != nil {
+					return nil, fmt.Errorf("session: %s: %w", es.label(), err)
+				}
+			}
+			est, err := ci.Estimate()
+			if err != nil {
+				return nil, fmt.Errorf("session: chain %d produced no samples for %s", cr.idx, es.label())
+			}
+			perChain = append(perChain, est)
+			w, wf := ci.Components()
+			allW = append(allW, w...)
+			allWF = append(allWF, wf...)
+			samples += len(vals)
+			series = append(series, vals)
+			if minLen < 0 || len(vals) < minLen {
+				minLen = len(vals)
+			}
+		}
+		point, err := pooled.Estimate()
+		if err != nil {
+			return nil, fmt.Errorf("session: %s: %w", es.label(), err)
+		}
+		out := Estimate{
+			Name:     es.label(),
+			Design:   design,
+			Point:    point,
+			PerChain: perChain,
+			Samples:  samples,
+		}
+		if iv, err := estimate.IntervalFromComponents(point, sp.Confidence, allW, allWF); err == nil {
+			out.Interval, out.HasInterval = iv, true
+		}
+		// R̂ over equal-length prefixes of the chains' retained series.
+		if len(chains) >= 2 && minLen >= 4 {
+			trimmed := make([][]float64, len(series))
+			for i, s := range series {
+				trimmed[i] = s[:minLen]
+			}
+			if r, err := diagnostics.GelmanRubin(trimmed); err == nil {
+				out.GelmanRubin = r
+			}
+		}
+		res.Estimates = append(res.Estimates, out)
+	}
+	return res, nil
+}
