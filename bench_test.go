@@ -14,6 +14,7 @@ package histwalk_test
 // better for every error/divergence metric.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -328,6 +329,62 @@ func BenchmarkFigureEstimationSerial(b *testing.B) {
 // share no mutable state).
 func BenchmarkFigureEstimationParallel(b *testing.B) {
 	benchmarkFigureEstimation(b, 0, true)
+}
+
+// --- access-layer benchmarks ---
+
+// BenchmarkSharedVsIsolatedChains runs the same 16-chain CNRW crawl of
+// the Google Plus stand-in under both cache policies. The shared
+// variant asserts its estimates are bit-identical to the isolated run
+// and its global network cost strictly lower; the reported metrics
+// make the saving machine-readable (see BENCH_access.json):
+//
+//	global_queries  — unique queries actually paid to the network
+//	local_queries   — Σ chain-local unique queries (the budget spend)
+//	xchain_hit_pct  — % of chain-local queries served by a sibling's fetch
+func BenchmarkSharedVsIsolatedChains(b *testing.B) {
+	g := histwalk.GooglePlusN(4000, 1)
+	mk := func(cache histwalk.CachePolicy) *histwalk.Result {
+		res, err := histwalk.Run(context.Background(), histwalk.Spec{
+			Graph:  g,
+			Walker: histwalk.CNRWFactory(),
+			Budget: 500,
+			Chains: 16,
+			Cache:  cache,
+			Seed:   1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	b.Run("isolated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := mk(histwalk.CacheIsolated)
+			b.ReportMetric(float64(res.GlobalQueries), "global_queries")
+			b.ReportMetric(float64(res.TotalQueries), "local_queries")
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		iso := mk(histwalk.CacheIsolated)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := mk(histwalk.CacheShared)
+			b.StopTimer()
+			for c := range res.Estimates[0].PerChain {
+				if res.Estimates[0].PerChain[c] != iso.Estimates[0].PerChain[c] {
+					b.Fatalf("chain %d estimate diverged between cache policies", c)
+				}
+			}
+			if res.GlobalQueries >= iso.GlobalQueries {
+				b.Fatalf("shared global cost %d not below isolated %d", res.GlobalQueries, iso.GlobalQueries)
+			}
+			b.StartTimer()
+			b.ReportMetric(float64(res.GlobalQueries), "global_queries")
+			b.ReportMetric(float64(res.TotalQueries), "local_queries")
+			b.ReportMetric(100*res.CrossChainHitRate, "xchain_hit_pct")
+		}
+	})
 }
 
 // --- per-step micro-benchmarks ---

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"histwalk"
+)
+
+// TestBuildKnownKinds smoke-tests every generator the flag accepts.
+func TestBuildKnownKinds(t *testing.T) {
+	kinds := []string{
+		"complete", "barbell", "clustered", "er", "gnm", "ba", "hk",
+		"ws", "sbm", "plc", "star", "cycle", "path", "grid",
+		"facebook", "gplus", "yelp", "youtube",
+	}
+	for _, kind := range kinds {
+		g, err := build(kind, 60, 3, 0.1, 1)
+		if err != nil {
+			t.Fatalf("build(%q): %v", kind, err)
+		}
+		if g.NumNodes() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("build(%q): empty graph (%d nodes, %d edges)", kind, g.NumNodes(), g.NumEdges())
+		}
+	}
+	if _, err := build("nope", 60, 3, 0.1, 1); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}
+
+// TestGenerateRoundTripsStats generates a small graph to a temp file
+// the way the command does and reads it back: node count, edge count
+// and average degree must survive the trip exactly.
+func TestGenerateRoundTripsStats(t *testing.T) {
+	g, err := build("ba", 200, 3, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "graph.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := histwalk.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	back, _, err := histwalk.ReadEdgeList(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed the graph: %d/%d nodes, %d/%d edges",
+			back.NumNodes(), g.NumNodes(), back.NumEdges(), g.NumEdges())
+	}
+	if back.AvgDegree() != g.AvgDegree() {
+		t.Fatalf("round trip changed avg degree: %v vs %v", back.AvgDegree(), g.AvgDegree())
+	}
+}
+
+// TestAttributeFilesRoundTrip covers the -attrs path: dataset
+// stand-ins carry attributes, and each written attribute file must
+// parse back to the original vector.
+func TestAttributeFilesRoundTrip(t *testing.T) {
+	g, err := build("yelp", 300, 3, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := g.AttrNames()
+	if len(names) == 0 {
+		t.Fatal("yelp stand-in has no attributes to test")
+	}
+	dir := t.TempDir()
+	for _, name := range names {
+		vals, _ := g.Attr(name)
+		path := filepath.Join(dir, "g."+name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := histwalk.WriteAttr(f, name, vals); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := histwalk.ReadAttr(in, g.NumNodes())
+		in.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("attr %q node %d: %v != %v", name, i, got[i], vals[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"histwalk"
+	"histwalk/internal/experiment"
+)
+
+// TestStatsRoundTripThroughEdgeFile writes a small graph to a temp
+// edge-list file, reads it back the way the -edges path does, and
+// checks the rendered stats table reports the original graph's exact
+// node and edge counts.
+func TestStatsRoundTripThroughEdgeFile(t *testing.T) {
+	g := histwalk.BarabasiAlbert(150, 3, rand.New(rand.NewSource(11)))
+	path := filepath.Join(t.TempDir(), "graph.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := histwalk.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := histwalk.ReadEdgeList(in)
+	in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.SetName(path)
+	var buf bytes.Buffer
+	if err := experiment.DatasetTable([]*histwalk.Graph{back}).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{fmt.Sprint(g.NumNodes()), fmt.Sprint(g.NumEdges())} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats table missing %q:\n%s", want, out)
+		}
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() ||
+		back.AvgDegree() != g.AvgDegree() {
+		t.Fatalf("round trip changed stats: %d nodes / %d edges / %v avg degree, want %d / %d / %v",
+			back.NumNodes(), back.NumEdges(), back.AvgDegree(),
+			g.NumNodes(), g.NumEdges(), g.AvgDegree())
+	}
+}
+
+// TestBuildScaled covers the -dataset path with and without the -n
+// scale override.
+func TestBuildScaled(t *testing.T) {
+	for _, name := range []string{"gplus", "yelp", "youtube"} {
+		g := buildScaled(name, 500, 1)
+		if g == nil {
+			t.Fatalf("buildScaled(%q, 500) = nil", name)
+		}
+		if g.NumNodes() == 0 {
+			t.Fatalf("buildScaled(%q, 500): empty graph", name)
+		}
+	}
+	if g := buildScaled("facebook", 0, 1); g == nil {
+		t.Fatal("default facebook dataset missing")
+	}
+	if g := buildScaled("nope", 0, 1); g != nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

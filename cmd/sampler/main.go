@@ -8,6 +8,7 @@
 //	sampler -dataset yelp -algo gnrw-reviews -budget 1000 -attr reviews_count
 //	sampler -edges graph.txt -algo cnrw -budget 500
 //	sampler -dataset gplus -algo cnrw -budget 500 -chains 8 -workers 4
+//	sampler -dataset gplus -algo cnrw -budget 500 -chains 16 -shared-cache
 //
 // The whole run is one declarative histwalk.Spec executed by
 // histwalk.Run. With -chains N > 1 the session runs N independent
@@ -15,6 +16,11 @@
 // deployment mode) on the parallel trial-execution engine, merges
 // their estimates and reports the Gelman–Rubin convergence diagnostic;
 // -workers caps the pool size without changing any result.
+// -shared-cache pools the chains over one cross-chain crawl cache:
+// estimates and per-chain budgets are bit-identical to the default
+// isolated mode, but nodes a sibling chain already fetched are free,
+// so the report shows the global network cost and the cross-chain hit
+// rate alongside the chain-local accounting.
 //
 // Algorithms: srw, mhrw, nbsrw, cnrw, cnrw-node, nbcnrw, gnrw-degree,
 // gnrw-md5, gnrw-reviews.
@@ -43,6 +49,7 @@ func main() {
 	burnIn := flag.Int("burnin", 0, "samples discarded per chain before estimating")
 	chains := flag.Int("chains", 1, "independent parallel walkers (each with its own budget)")
 	workers := flag.Int("workers", 0, "worker pool size for -chains > 1 (default: one per chain)")
+	sharedCache := flag.Bool("shared-cache", false, "share one crawl cache across chains (identical estimates, lower global network cost)")
 	flag.Parse()
 
 	if *chains < 1 {
@@ -67,6 +74,10 @@ func main() {
 	fmt.Printf("dataset %s: %d nodes, %d edges, avg degree %.2f\n",
 		g.Name(), g.NumNodes(), g.NumEdges(), g.AvgDegree())
 
+	cache := histwalk.CacheIsolated
+	if *sharedCache {
+		cache = histwalk.CacheShared
+	}
 	spec := histwalk.Spec{
 		Graph:      g,
 		Walker:     factory,
@@ -75,6 +86,7 @@ func main() {
 		MaxSteps:   *maxSteps,
 		BurnIn:     *burnIn,
 		Chains:     *chains,
+		Cache:      cache,
 		Workers:    *workers,
 		Seed:       *seed,
 		Confidence: 0.95,
@@ -92,7 +104,13 @@ func main() {
 	fmt.Printf("algorithm        %s (estimator design: %s)\n", factory.Name, est.Design)
 	fmt.Printf("chains           %d × budget %d (workers %s)\n", *chains, *budget, workersLabel(*workers))
 	fmt.Printf("total steps      %d\n", res.TotalSteps)
-	fmt.Printf("unique queries   %d (per-chain caches)\n", res.TotalQueries)
+	if *sharedCache {
+		fmt.Printf("unique queries   %d chain-local (budgets), %d paid to the network\n", res.TotalQueries, res.GlobalQueries)
+		fmt.Printf("shared cache     %d cross-chain hits (%.1f%% of chain-local queries saved)\n",
+			res.CrossChainHits, 100*res.CrossChainHitRate)
+	} else {
+		fmt.Printf("unique queries   %d (per-chain caches)\n", res.TotalQueries)
+	}
 	for i, c := range res.Chains {
 		fmt.Printf("chain %-3d        start %d, %d steps, %d queries (%d cache hits), estimate %.4f\n",
 			i, c.Start, c.Steps, c.Queries, c.Requests-c.Queries, est.PerChain[i])

@@ -80,4 +80,25 @@ func main() {
 		fmt.Printf(" ∈ [%.2f, %.2f] at 95%%", est.Interval.Low, est.Interval.High)
 	}
 	fmt.Printf(" (truth %.2f)\n", g.AvgDegree())
+
+	// The same fleet over one shared crawl cache: trajectories, budgets
+	// and the estimate are bit-identical, but nodes a sibling chain
+	// already fetched are free, so the network is paid strictly less.
+	shared, err := histwalk.Run(context.Background(), histwalk.Spec{
+		Graph:  g,
+		Walker: histwalk.CNRWFactory(),
+		Budget: 1000,
+		Chains: 4,
+		Cache:  histwalk.CacheShared,
+		Seed:   *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if shared.Estimates[0].Point != est.Point {
+		log.Fatalf("shared-cache estimate %v diverged from isolated %v", shared.Estimates[0].Point, est.Point)
+	}
+	fmt.Printf("same fleet, shared cache: identical estimate %.2f, network cost %d vs %d isolated (%.1f%% saved by %d cross-chain hits)\n",
+		shared.Estimates[0].Point, shared.GlobalQueries, shared.TotalQueries,
+		100*shared.CrossChainHitRate, shared.CrossChainHits)
 }

@@ -75,6 +75,12 @@ type Simulator struct {
 	unique  int
 	total   int
 	limiter *RateLimiter
+	// hook, when set, observes every successful touch after the local
+	// accounting has been applied; fresh reports whether the touch was
+	// this simulator's first query for u. SharedSimulator views use it
+	// to feed the global ledger, which keeps a view's chain-local
+	// behavior bit-identical to a private Simulator's by construction.
+	hook func(u graph.Node, fresh bool)
 }
 
 // NewSimulator returns a Simulator over g with no rate limit.
@@ -96,12 +102,16 @@ func (s *Simulator) touch(u graph.Node) error {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, u)
 	}
 	s.total++
-	if !s.queried[u] {
+	fresh := !s.queried[u]
+	if fresh {
 		if s.limiter != nil {
 			s.limiter.Take()
 		}
 		s.queried[u] = true
 		s.unique++
+	}
+	if s.hook != nil {
+		s.hook(u, fresh)
 	}
 	return nil
 }
@@ -184,12 +194,18 @@ func (s *Simulator) IsCached(u graph.Node) bool {
 // cache effectiveness.
 func (s *Simulator) TotalRequests() int { return s.total }
 
-// Reset clears the cache and counters (the graph is retained).
+// Reset clears the cache, the counters and the installed rate limiter's
+// state (the graph and the limiter installation are retained). A reused
+// simulator therefore starts each run with a full token bucket and zero
+// virtual wait, like a fresh one.
 func (s *Simulator) Reset() {
 	for i := range s.queried {
 		s.queried[i] = false
 	}
 	s.unique, s.total = 0, 0
+	if s.limiter != nil {
+		s.limiter.Reset()
+	}
 }
 
 // CacheAware is implemented by clients that can report whether a node is

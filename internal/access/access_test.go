@@ -131,6 +131,39 @@ func TestSimulatorReset(t *testing.T) {
 	}
 }
 
+// TestSimulatorResetClearsRateLimiter is the regression test for the
+// reuse bug: Reset cleared the queried bitset and counters but left the
+// installed limiter's used tokens and virtual elapsed time, so a reused
+// simulator started its next run mid-window with stale wait time.
+func TestSimulatorResetClearsRateLimiter(t *testing.T) {
+	sim := NewSimulator(testGraph(t))
+	rl := NewRateLimiter(2, time.Minute)
+	sim.SetRateLimiter(rl)
+	for u := graph.Node(0); u < 4; u++ {
+		if _, err := sim.Neighbors(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rl.VirtualElapsed() != time.Minute {
+		t.Fatalf("elapsed = %v, want 1m before reset", rl.VirtualElapsed())
+	}
+	sim.Reset()
+	if rl.VirtualElapsed() != 0 {
+		t.Fatalf("elapsed = %v after Reset, want 0 (limiter state carried over)", rl.VirtualElapsed())
+	}
+	// A fresh window: the first two unique queries must not roll the
+	// virtual clock, which they would if `used` had carried over.
+	if _, err := sim.Neighbors(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Neighbors(1); err != nil {
+		t.Fatal(err)
+	}
+	if rl.VirtualElapsed() != 0 {
+		t.Fatalf("elapsed = %v on a fresh window, want 0", rl.VirtualElapsed())
+	}
+}
+
 func TestBudgetedBlocksNewNodes(t *testing.T) {
 	sim := NewSimulator(testGraph(t))
 	b := NewBudgeted(sim, 2)

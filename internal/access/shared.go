@@ -1,0 +1,164 @@
+package access
+
+// Shared cross-chain crawl cache. A real deployment that runs many
+// crawler accounts (chains) against one OSN keeps a single local cache:
+// once any chain has fetched a node's neighborhood, every other chain
+// can read it for free. The paper's cost model (§2.3) counts *unique*
+// queries precisely because "any duplicate query can be immediately
+// retrieved from local cache" — and with a shared cache, "duplicate"
+// means duplicate across the whole crawler fleet, not per chain.
+//
+// SharedSimulator implements that model: one graph, one shard-locked
+// query cache, many concurrent per-chain Views. Each View keeps exact
+// chain-local unique-query accounting — identical to what a private
+// Simulator would report — so per-chain budgets (Budgeted) and walker
+// trajectories are bit-identical between shared and isolated modes;
+// only the global network-cost accounting differs.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"histwalk/internal/graph"
+)
+
+// sharedShards is the number of lock stripes in a SharedSimulator.
+// Nodes map to stripes by id modulo sharedShards, so contention is
+// spread even when chains crawl overlapping regions.
+const sharedShards = 64
+
+// SharedSimulator is a concurrency-safe query cache over one
+// graph.Graph, shared by many chains. It does not implement Client
+// itself; chains talk to it through per-chain Views (see View), which
+// carry the chain-local accounting. All global counters are safe for
+// concurrent use and deterministic at quiescence: the final unique,
+// cross-hit and total counts depend only on the set of queries issued,
+// not on scheduling.
+type SharedSimulator struct {
+	g       *graph.Graph
+	locks   [sharedShards]sync.Mutex
+	queried []bool // guarded by locks[node%sharedShards]
+
+	unique    atomic.Int64 // network fetches (globally unique queries)
+	crossHits atomic.Int64 // chain-local misses served from a sibling's fetch
+	total     atomic.Int64 // all requests, including chain-local cache hits
+
+	limiterMu sync.Mutex
+	limiter   *RateLimiter // guarded by limiterMu
+}
+
+// NewSharedSimulator returns a shared cache over g with no rate limit.
+func NewSharedSimulator(g *graph.Graph) *SharedSimulator {
+	return &SharedSimulator{g: g, queried: make([]bool, g.NumNodes())}
+}
+
+// Graph exposes the backing graph for ground-truth computations.
+// Samplers must not use it; it exists for estimator validation only.
+func (s *SharedSimulator) Graph() *graph.Graph { return s.g }
+
+// SetRateLimiter installs a rate limiter applied to globally-unique
+// fetches (every kind of cache hit is free). Pass nil to remove. The
+// limiter must not be shared with other simulators.
+func (s *SharedSimulator) SetRateLimiter(rl *RateLimiter) {
+	s.limiterMu.Lock()
+	s.limiter = rl
+	s.limiterMu.Unlock()
+}
+
+// record registers a chain-locally-new query for u against the shared
+// cache: a network fetch if no chain has queried u yet, a free
+// cross-chain hit otherwise.
+func (s *SharedSimulator) record(u graph.Node) {
+	lk := &s.locks[uint(u)%sharedShards]
+	lk.Lock()
+	fresh := !s.queried[u]
+	if fresh {
+		s.queried[u] = true
+	}
+	lk.Unlock()
+	if !fresh {
+		s.crossHits.Add(1)
+		return
+	}
+	s.unique.Add(1)
+	s.limiterMu.Lock()
+	if s.limiter != nil {
+		s.limiter.Take()
+	}
+	s.limiterMu.Unlock()
+}
+
+// GlobalCost returns the number of globally-unique queries — the
+// network cost the whole fleet actually paid.
+func (s *SharedSimulator) GlobalCost() int { return int(s.unique.Load()) }
+
+// CrossChainHits returns how many chain-locally-new queries were served
+// from a sibling chain's earlier fetch instead of the network.
+func (s *SharedSimulator) CrossChainHits() int { return int(s.crossHits.Load()) }
+
+// TotalRequests returns all requests across every view, including
+// chain-local cache hits.
+func (s *SharedSimulator) TotalRequests() int { return int(s.total.Load()) }
+
+// HitRate returns the cross-chain cache hit rate: the fraction of
+// chain-locally-new queries that a sibling chain had already paid for.
+// Zero before any query.
+func (s *SharedSimulator) HitRate() float64 {
+	hits := float64(s.crossHits.Load())
+	denom := hits + float64(s.unique.Load())
+	if denom == 0 {
+		return 0
+	}
+	return hits / denom
+}
+
+// Reset clears the shared cache, all global counters and the installed
+// rate limiter (the graph is retained). It must not be called
+// concurrently with view traffic, and it does not clear the chain-local
+// state of existing Views — discard them and take fresh ones.
+func (s *SharedSimulator) Reset() {
+	for i := range s.queried {
+		s.queried[i] = false
+	}
+	s.unique.Store(0)
+	s.crossHits.Store(0)
+	s.total.Store(0)
+	s.limiterMu.Lock()
+	if s.limiter != nil {
+		s.limiter.Reset()
+	}
+	s.limiterMu.Unlock()
+}
+
+// View returns a new per-chain Client over the shared cache. Views may
+// be taken and used from different goroutines concurrently; each View
+// itself is confined to one chain (it is not safe for concurrent use,
+// exactly like a private Simulator).
+func (s *SharedSimulator) View() *View {
+	sim := NewSimulator(s.g)
+	sim.hook = func(u graph.Node, fresh bool) {
+		s.total.Add(1)
+		if fresh {
+			s.record(u)
+		}
+	}
+	return &View{Simulator: sim, shared: s}
+}
+
+// View is one chain's window onto a SharedSimulator. It implements
+// Client with *chain-local* accounting: QueryCost counts the queries
+// this chain issued for nodes it had not queried before, and IsCached
+// reports this chain's own cache — both identical to what a private
+// Simulator would report for the same query sequence, because a View
+// literally is a private Simulator whose touch hook additionally feeds
+// the shared ledger. That makes walker trajectories, summary
+// availability and Budgeted budget enforcement bit-identical between
+// shared and isolated modes by construction; the network-level savings
+// appear only in the SharedSimulator's global counters.
+type View struct {
+	*Simulator
+	shared *SharedSimulator
+}
+
+// Shared returns the SharedSimulator this view draws from.
+func (v *View) Shared() *SharedSimulator { return v.shared }

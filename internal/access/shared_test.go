@@ -1,0 +1,251 @@
+package access
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"histwalk/internal/graph"
+)
+
+// TestViewMatchesIsolatedSimulator replays one query sequence against a
+// private Simulator and a SharedSimulator view and checks the
+// chain-local observables — results, errors, unique cost, request
+// totals, cache membership — are identical. This is the bit-identity
+// foundation: a walker cannot distinguish the two clients.
+func TestViewMatchesIsolatedSimulator(t *testing.T) {
+	g := testGraph(t)
+	sim := NewSimulator(g)
+	view := NewSharedSimulator(g).View()
+	seq := []graph.Node{0, 1, 0, 3, 1, 99, -1, 2, 0}
+	for i, u := range seq {
+		nsSim, errSim := sim.Neighbors(u)
+		nsView, errView := view.Neighbors(u)
+		if (errSim == nil) != (errView == nil) {
+			t.Fatalf("query %d (%d): sim err %v, view err %v", i, u, errSim, errView)
+		}
+		if len(nsSim) != len(nsView) {
+			t.Fatalf("query %d (%d): neighbor lists differ", i, u)
+		}
+		if sim.QueryCost() != view.QueryCost() {
+			t.Fatalf("query %d: cost %d vs %d", i, sim.QueryCost(), view.QueryCost())
+		}
+		if sim.TotalRequests() != view.TotalRequests() {
+			t.Fatalf("query %d: requests %d vs %d", i, sim.TotalRequests(), view.TotalRequests())
+		}
+	}
+	for u := graph.Node(-1); int(u) <= g.NumNodes(); u++ {
+		if sim.IsCached(u) != view.IsCached(u) {
+			t.Fatalf("IsCached(%d) disagrees", u)
+		}
+	}
+	// Attribute and Degree ride the same per-node cache in both.
+	if _, err := view.Attribute(2, "age"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := view.Attribute(2, "nope"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if d, err := view.Degree(2); err != nil || d != 4 {
+		t.Fatalf("Degree = %d, %v", d, err)
+	}
+}
+
+// TestSharedGlobalAccounting checks the three-level ledger: chain-local
+// unique counts are unaffected by siblings, while the shared layer
+// counts each node's network fetch once and the overlap as cross-chain
+// hits.
+func TestSharedGlobalAccounting(t *testing.T) {
+	shared := NewSharedSimulator(testGraph(t))
+	a, b := shared.View(), shared.View()
+	for _, u := range []graph.Node{0, 1, 1} { // 1 repeated: local cache hit
+		if _, err := a.Neighbors(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, u := range []graph.Node{1, 2} { // 1 overlaps with a's crawl
+		if _, err := b.Neighbors(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.QueryCost() != 2 || b.QueryCost() != 2 {
+		t.Fatalf("local costs = %d, %d, want 2, 2", a.QueryCost(), b.QueryCost())
+	}
+	if shared.GlobalCost() != 3 {
+		t.Fatalf("GlobalCost = %d, want 3 (nodes 0, 1, 2)", shared.GlobalCost())
+	}
+	if shared.CrossChainHits() != 1 {
+		t.Fatalf("CrossChainHits = %d, want 1 (b's query for node 1)", shared.CrossChainHits())
+	}
+	if shared.TotalRequests() != 5 {
+		t.Fatalf("TotalRequests = %d, want 5", shared.TotalRequests())
+	}
+	// Identity: Σ chain-local unique = global unique + cross-chain hits.
+	if a.QueryCost()+b.QueryCost() != shared.GlobalCost()+shared.CrossChainHits() {
+		t.Fatal("accounting identity violated")
+	}
+	if got, want := shared.HitRate(), 0.25; got != want {
+		t.Fatalf("HitRate = %v, want %v", got, want)
+	}
+}
+
+// TestSharedSummaryStaysChainLocal pins the bit-identity rule for free
+// summary data: a sibling's fetch of owner does NOT make owner's
+// neighbor-list summary available to this chain, exactly as with
+// isolated caches.
+func TestSharedSummaryStaysChainLocal(t *testing.T) {
+	shared := NewSharedSimulator(testGraph(t))
+	a, b := shared.View(), shared.View()
+	if _, err := a.Neighbors(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SummaryAttr(0, 1, "age"); !errors.Is(err, ErrNotInSummary) {
+		t.Fatalf("sibling's fetch leaked into b's summary: err = %v", err)
+	}
+	if _, err := b.SummaryDegree(0, 1); !errors.Is(err, ErrNotInSummary) {
+		t.Fatalf("sibling's fetch leaked into b's summary: err = %v", err)
+	}
+	// After b's own query the summary is available and free.
+	if _, err := b.Neighbors(0); err != nil {
+		t.Fatal(err)
+	}
+	before := b.QueryCost()
+	if x, err := b.SummaryAttr(0, 1, "age"); err != nil || x != 20 {
+		t.Fatalf("SummaryAttr = %v, %v", x, err)
+	}
+	if d, err := b.SummaryDegree(0, 1); err != nil || d != 4 {
+		t.Fatalf("SummaryDegree = %v, %v", d, err)
+	}
+	if b.QueryCost() != before {
+		t.Fatal("summary reads must be free")
+	}
+}
+
+// TestSharedRateLimiterChargesNetworkFetchesOnly: the fleet-level rate
+// limit is consumed by network fetches, not by chain-local or
+// cross-chain cache hits.
+func TestSharedRateLimiterChargesNetworkFetchesOnly(t *testing.T) {
+	shared := NewSharedSimulator(testGraph(t))
+	rl := NewRateLimiter(1, time.Minute)
+	shared.SetRateLimiter(rl)
+	a, b := shared.View(), shared.View()
+	_, _ = a.Neighbors(0)
+	_, _ = a.Neighbors(0) // local hit: no token
+	_, _ = b.Neighbors(0) // cross-chain hit: no token
+	if rl.VirtualElapsed() != 0 {
+		t.Fatalf("elapsed = %v after one network fetch", rl.VirtualElapsed())
+	}
+	_, _ = b.Neighbors(1) // second network fetch rolls the 1/min bucket
+	if rl.VirtualElapsed() != time.Minute {
+		t.Fatalf("elapsed = %v, want 1m", rl.VirtualElapsed())
+	}
+}
+
+// TestSharedReset clears the cache, the counters and the limiter.
+func TestSharedReset(t *testing.T) {
+	shared := NewSharedSimulator(testGraph(t))
+	rl := NewRateLimiter(1, time.Minute)
+	shared.SetRateLimiter(rl)
+	v := shared.View()
+	for u := graph.Node(0); u < 3; u++ {
+		if _, err := v.Neighbors(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shared.Reset()
+	if shared.GlobalCost() != 0 || shared.CrossChainHits() != 0 || shared.TotalRequests() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	if rl.VirtualElapsed() != 0 {
+		t.Fatal("Reset did not reset the rate limiter")
+	}
+	w := shared.View()
+	if _, err := w.Neighbors(0); err != nil {
+		t.Fatal(err)
+	}
+	if shared.GlobalCost() != 1 {
+		t.Fatalf("GlobalCost after reset = %d, want 1", shared.GlobalCost())
+	}
+}
+
+// TestSharedConcurrentViews hammers one shared cache from many
+// goroutines (run under -race) and then checks the deterministic
+// quiescent invariants: the global unique count equals the number of
+// distinct nodes any chain touched, and the cross-chain ledger balances
+// against the chain-local counts regardless of scheduling.
+func TestSharedConcurrentViews(t *testing.T) {
+	g := graph.BarabasiAlbert(400, 3, rand.New(rand.NewSource(17)))
+	vals := make([]float64, g.NumNodes())
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	if err := g.SetAttr("x", vals); err != nil {
+		t.Fatal(err)
+	}
+	shared := NewSharedSimulator(g)
+	const chains = 8
+	const queries = 2000
+	views := make([]*View, chains)
+	for i := range views {
+		views[i] = shared.View()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < chains; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + i)))
+			v := views[i]
+			for q := 0; q < queries; q++ {
+				u := graph.Node(rng.Intn(g.NumNodes()))
+				switch q % 3 {
+				case 0:
+					if _, err := v.Neighbors(u); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, err := v.Degree(u); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					if _, err := v.Attribute(u, "x"); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	distinct := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range views {
+			if v.IsCached(graph.Node(u)) {
+				distinct++
+				break
+			}
+		}
+	}
+	if shared.GlobalCost() != distinct {
+		t.Fatalf("GlobalCost = %d, distinct nodes touched = %d", shared.GlobalCost(), distinct)
+	}
+	sumLocal, sumRequests := 0, 0
+	for _, v := range views {
+		sumLocal += v.QueryCost()
+		sumRequests += v.TotalRequests()
+	}
+	if sumLocal != shared.GlobalCost()+shared.CrossChainHits() {
+		t.Fatalf("Σ local unique %d != global %d + cross hits %d",
+			sumLocal, shared.GlobalCost(), shared.CrossChainHits())
+	}
+	if sumRequests != shared.TotalRequests() || sumRequests != chains*queries {
+		t.Fatalf("requests: Σ views %d, shared %d, want %d", sumRequests, shared.TotalRequests(), chains*queries)
+	}
+	if shared.GlobalCost() > g.NumNodes() {
+		t.Fatalf("GlobalCost %d exceeds node count %d", shared.GlobalCost(), g.NumNodes())
+	}
+}

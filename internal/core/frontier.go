@@ -161,23 +161,43 @@ func (f *Frontier) Step() (graph.Node, error) {
 	return next, nil
 }
 
+// Degraded wraps the fallback walker a Factory substitutes when its
+// intended construction fails; Name() exposes both the fallback and
+// what it degraded from, so experiment rows are never silently labeled
+// with an algorithm that did not actually run.
+type Degraded struct {
+	Walker
+	from string
+}
+
+// Name implements Walker, reporting the fallback and the original.
+func (d *Degraded) Name() string {
+	return fmt.Sprintf("%s[degraded:%s]", d.Walker.Name(), d.from)
+}
+
+// Unwrap returns the fallback walker actually running.
+func (d *Degraded) Unwrap() Walker { return d.Walker }
+
 // FrontierFactory returns a Factory running m coupled walkers; the m
 // start nodes are drawn by shifting the trial's start node through the
 // RNG (the first walker uses the provided start, preserving the
 // shared-start trial protocol).
+//
+// Frontier construction issues queries (each start's initial degree
+// fetch), so it can fail on a constrained client — e.g. an exhausted
+// Budgeted wrapper. The Factory signature is total, so construction
+// failures degrade to a plain SRW; the returned walker's Name() then
+// reports the degradation instead of claiming to be the frontier
+// sampler.
 func FrontierFactory(m int) Factory {
-	if m < 1 {
-		m = 1
-	}
+	name := fmt.Sprintf("Frontier(m=%d)", m1(m))
 	return Factory{
-		Name: fmt.Sprintf("Frontier(m=%d)", m),
+		Name: name,
 		New: func(c access.Client, s graph.Node, r *rand.Rand) Walker {
-			starts := frontierStarts(c, s, m, r)
+			starts := frontierStarts(c, s, m1(m), r)
 			f, err := NewFrontier(c, starts, r)
 			if err != nil {
-				// A fresh simulator cannot fail here; degrade to SRW to
-				// keep the Factory signature total.
-				return NewSRW(c, s, r)
+				return &Degraded{Walker: NewSRW(c, s, r), from: name}
 			}
 			return f
 		},
@@ -185,22 +205,29 @@ func FrontierFactory(m int) Factory {
 }
 
 // FrontierCNRWFactory is FrontierFactory with per-walker CNRW
-// circulation.
+// circulation; construction failures degrade to a plain CNRW, reported
+// through the walker's Name() like FrontierFactory's.
 func FrontierCNRWFactory(m int) Factory {
-	if m < 1 {
-		m = 1
-	}
+	name := fmt.Sprintf("Frontier-CNRW(m=%d)", m1(m))
 	return Factory{
-		Name: fmt.Sprintf("Frontier-CNRW(m=%d)", m),
+		Name: name,
 		New: func(c access.Client, s graph.Node, r *rand.Rand) Walker {
-			starts := frontierStarts(c, s, m, r)
+			starts := frontierStarts(c, s, m1(m), r)
 			f, err := NewFrontierCNRW(c, starts, r)
 			if err != nil {
-				return NewCNRW(c, s, r)
+				return &Degraded{Walker: NewCNRW(c, s, r), from: name}
 			}
 			return f
 		},
 	}
+}
+
+// m1 clamps a frontier dimension to >= 1.
+func m1(m int) int {
+	if m < 1 {
+		return 1
+	}
+	return m
 }
 
 // frontierStarts derives m start nodes: the trial's shared start plus

@@ -94,6 +94,50 @@ func TestFrontierCNRWCirculationInvariant(t *testing.T) {
 	}
 }
 
+// TestFrontierFactoryReportsDegradation is the regression test for the
+// mislabeling bug: when NewFrontier fails (here: an already-exhausted
+// Budgeted client refuses the start's initial degree fetch), the
+// factory used to return a plain SRW/CNRW whose Name() the experiment
+// harness never saw — rows were labeled "Frontier(m=…)" for walks that
+// were not frontier sampling at all. The degraded walker must expose
+// the substitution.
+func TestFrontierFactoryReportsDegradation(t *testing.T) {
+	g := graph.Complete(5)
+	rng := rand.New(rand.NewSource(56))
+	cases := []struct {
+		factory      Factory
+		wantFallback string
+	}{
+		{FrontierFactory(3), "SRW"},
+		{FrontierCNRWFactory(3), "CNRW"},
+	}
+	for _, tc := range cases {
+		// Budget 0: every fresh query is refused, so construction fails.
+		exhausted := access.NewBudgeted(access.NewSimulator(g), 0)
+		w := tc.factory.New(exhausted, 0, rng)
+		d, ok := w.(*Degraded)
+		if !ok {
+			t.Fatalf("%s: construction failure returned %T (%q), want *Degraded", tc.factory.Name, w, w.Name())
+		}
+		if w.Name() == tc.factory.Name {
+			t.Fatalf("%s: degraded walker still claims the factory name", tc.factory.Name)
+		}
+		want := tc.wantFallback + "[degraded:" + tc.factory.Name + "]"
+		if w.Name() != want {
+			t.Fatalf("Name() = %q, want %q", w.Name(), want)
+		}
+		if d.Unwrap().Name() != tc.wantFallback {
+			t.Fatalf("fallback = %q, want %q", d.Unwrap().Name(), tc.wantFallback)
+		}
+	}
+	// A healthy client still gets the real frontier sampler.
+	sim := access.NewSimulator(g)
+	w := FrontierFactory(3).New(sim, 0, rng)
+	if w.Name() != "Frontier(m=3)" {
+		t.Fatalf("healthy construction: Name() = %q", w.Name())
+	}
+}
+
 func TestFrontierFactoryDegradedInputs(t *testing.T) {
 	g := graph.Complete(5)
 	sim := access.NewSimulator(g)

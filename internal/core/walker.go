@@ -47,7 +47,12 @@ type Walker interface {
 type Factory struct {
 	// Name of the algorithm, used in figures and tables.
 	Name string
-	// New returns a new walker positioned at start.
+	// New returns a new walker positioned at start. New never returns
+	// nil; constructors that can fail (e.g. the frontier samplers,
+	// whose bootstrap issues queries) substitute a fallback wrapped in
+	// *Degraded instead. Run sites that label results by Name must
+	// check for *Degraded and refuse or re-label the walk — the engine
+	// trial runner and the session runner refuse.
 	New func(c access.Client, start graph.Node, rng *rand.Rand) Walker
 }
 

@@ -161,6 +161,12 @@ func RunTrial(job Job, seed int64) (*TrialResult, error) {
 	}
 	sim := access.NewSimulator(g)
 	walker := f.New(sim, start, rng)
+	// Experiment rows are labeled with f.Name; a factory that had to
+	// substitute a fallback walker (core.Degraded) would silently
+	// mislabel the whole series, so refuse to run the trial instead.
+	if d, ok := walker.(*core.Degraded); ok {
+		return nil, fmt.Errorf("engine: %s trial: walker construction degraded to %s; refusing to run mislabeled trial", f.Name, d.Unwrap().Name())
+	}
 	design := DesignFor(f.Name)
 	est := estimate.NewMean(design)
 

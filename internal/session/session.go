@@ -47,6 +47,27 @@ const (
 	DesignUniform
 )
 
+// CachePolicy selects how the chains' query caches relate in Graph
+// mode.
+type CachePolicy int
+
+const (
+	// CacheIsolated gives every chain its own private cache and
+	// unique-query counter (the default): chains model separate crawler
+	// deployments that share nothing, so the network cost is the sum of
+	// the chains' costs.
+	CacheIsolated CachePolicy = iota
+	// CacheShared runs all chains over one concurrency-safe shared
+	// crawl cache (access.SharedSimulator): once any chain has fetched
+	// a node, sibling chains read it for free, as a real multi-account
+	// crawler with one local cache would. Each chain still keeps exact
+	// chain-local unique-query accounting — budgets, trajectories and
+	// estimates are bit-identical to CacheIsolated for any Workers
+	// value — while the Result additionally reports the strictly
+	// smaller global network cost and the cross-chain hit rate.
+	CacheShared
+)
+
 // Aggregate identifies the kind of population aggregate an
 // EstimatorSpec computes.
 type Aggregate int
@@ -118,8 +139,9 @@ func (e EstimatorSpec) transform(raw float64) float64 {
 type Spec struct {
 	// Graph is the network to sample in simulation mode: every chain
 	// gets its own access.Simulator over it (private cache, private
-	// unique-query accounting). Exactly one of Graph and Client must
-	// be set.
+	// unique-query accounting), or a per-chain view of one shared crawl
+	// cache when Cache is CacheShared. Exactly one of Graph and Client
+	// must be set.
 	Graph *graph.Graph
 	// Client is a live restricted-access interface to walk directly
 	// (online mode). A shared client has one cache and one query
@@ -159,6 +181,11 @@ type Spec struct {
 	// has its own RNG, cache and budget — the practical OSN deployment
 	// mode, where every crawler account is rate-limited separately.
 	Chains int
+	// Cache selects the chains' cache topology in Graph mode (default
+	// CacheIsolated). CacheShared pools all chains over one shared
+	// crawl cache without changing any chain's trajectory or budget
+	// accounting; see CachePolicy.
+	Cache CachePolicy
 	// Workers caps how many chains run concurrently in Run (0 = one
 	// worker per chain). The Result is bit-identical for every value.
 	Workers int
@@ -184,6 +211,9 @@ type Spec struct {
 	// autoMaxSteps records that MaxSteps was defaulted rather than set
 	// by the caller, enabling the Client-mode saturation cap.
 	autoMaxSteps bool
+	// shared is the cross-chain crawl cache when Cache == CacheShared,
+	// created once per Run/Session over the spec's Graph.
+	shared *access.SharedSimulator
 }
 
 // Progress is a snapshot of a run in flight.
@@ -220,6 +250,15 @@ func (s Spec) Validate() error {
 	}
 	if s.Graph != nil && s.Start != 0 {
 		return errors.New("session: Start is only used in Client mode; Graph mode draws each chain's start from its RNG")
+	}
+	switch s.Cache {
+	case CacheIsolated:
+	case CacheShared:
+		if s.Client != nil {
+			return errors.New("session: CacheShared applies to Graph mode; a Client brings its own cache")
+		}
+	default:
+		return fmt.Errorf("session: unknown cache policy %d", int(s.Cache))
 	}
 	switch s.Design {
 	case DesignAuto, DesignDegreeProportional, DesignUniform:
@@ -277,6 +316,9 @@ func normalize(s Spec) (*Spec, error) {
 	}
 	if len(s.Estimators) == 0 {
 		s.Estimators = []EstimatorSpec{{Kind: AggAvgDegree}}
+	}
+	if s.Cache == CacheShared {
+		s.shared = access.NewSharedSimulator(s.Graph)
 	}
 	return &s, nil
 }
@@ -344,9 +386,31 @@ type Result struct {
 	Chains []ChainResult
 	// TotalSteps sums the transitions across chains.
 	TotalSteps int
-	// TotalQueries sums the budget spend across chains (each chain has
-	// its own cache, so queries are not shared).
+	// TotalQueries sums the chain-local budget spend across chains. It
+	// is identical under CacheIsolated and CacheShared: budgets always
+	// charge the chain that issued the query.
 	TotalQueries int
+	// GlobalQueries is the network-level unique query count — what the
+	// whole run actually paid the OSN for. Under CacheIsolated every
+	// chain pays for its own fetches, so this is the sum of the chains'
+	// unique costs; under CacheShared nodes fetched by any chain are
+	// free for the others. Under the default CostUnique metering the
+	// ledger balances as GlobalQueries + CrossChainHits == TotalQueries
+	// (strictly smaller than TotalQueries whenever chains overlap);
+	// under CostSteps, TotalQueries counts transitions instead and is
+	// not comparable to this field.
+	GlobalQueries int
+	// GlobalRequests counts all requests across chains including cache
+	// hits (0 when the client reports no request totals).
+	GlobalRequests int
+	// CrossChainHits counts chain-locally-new queries that were served
+	// from a sibling chain's earlier fetch (always 0 under
+	// CacheIsolated).
+	CrossChainHits int
+	// CrossChainHitRate is CrossChainHits as a fraction of all
+	// chain-locally-new queries: the share of the would-be network cost
+	// that the shared cache saved. 0 under CacheIsolated.
+	CrossChainHitRate float64
 }
 
 // Lookup returns the estimate with the given label.
@@ -503,18 +567,35 @@ func (s *Session) Result() (*Result, error) {
 	return merge(s.sp, s.chains)
 }
 
-// chainRun is one chain's in-flight state. Chains share nothing, so a
-// chainRun is confined to whichever goroutine drives it.
+// requestReporter is implemented by clients that count all requests
+// including cache hits.
+type requestReporter interface{ TotalRequests() int }
+
+// simClient is the chain-local face of a Graph-mode client: an
+// isolated access.Simulator or a per-chain access.View over the shared
+// cache. Both report chain-local unique cost, cache membership and
+// request totals, which is what keeps trajectories identical across
+// cache policies.
+type simClient interface {
+	access.Client
+	access.CacheAware
+	requestReporter
+}
+
+// chainRun is one chain's in-flight state. Chains share no chain-local
+// state, so a chainRun is confined to whichever goroutine drives it
+// (under CacheShared the shared cache itself is concurrency-safe).
 type chainRun struct {
-	idx    int
-	seed   int64
-	client access.Client
-	sim    *access.Simulator // nil in Client mode
-	base   int               // Client mode: query cost at chain start
-	walker core.Walker
-	start  graph.Node
-	steps  int
-	done   bool
+	idx     int
+	seed    int64
+	client  access.Client
+	sim     simClient // nil in Client mode
+	base    int       // Client mode: query cost at chain start
+	reqBase int       // Client mode: request total at chain start
+	walker  core.Walker
+	start   graph.Node
+	steps   int
+	done    bool
 
 	// retained samples
 	degrees []int
@@ -535,7 +616,11 @@ func newChain(sp *Spec, c int) (*chainRun, error) {
 		scratch: make([]float64, len(sp.Estimators)),
 	}
 	if sp.Graph != nil {
-		cr.sim = access.NewSimulator(sp.Graph)
+		if sp.shared != nil {
+			cr.sim = sp.shared.View()
+		} else {
+			cr.sim = access.NewSimulator(sp.Graph)
+		}
 		cr.client = cr.sim
 		start, err := engine.RandomStart(sp.Graph, rng)
 		if err != nil {
@@ -545,9 +630,21 @@ func newChain(sp *Spec, c int) (*chainRun, error) {
 	} else {
 		cr.client = sp.Client
 		cr.base = sp.Client.QueryCost()
+		if tr, ok := sp.Client.(requestReporter); ok {
+			cr.reqBase = tr.TotalRequests()
+		}
 		cr.start = sp.Start
 	}
 	cr.walker = sp.Walker.New(cr.client, cr.start, rng)
+	// Results are reported under Walker.Name; a factory that had to
+	// substitute a fallback (core.Degraded — e.g. a frontier sampler
+	// whose bootstrap queries an exhausted client refused) would run a
+	// different algorithm than the Result claims, so fail the chain
+	// with the degradation spelled out instead.
+	if d, ok := cr.walker.(*core.Degraded); ok {
+		return nil, fmt.Errorf("session: chain %d: %s construction degraded to %s; refusing to run under a wrong label",
+			c, sp.Walker.Name, d.Unwrap().Name())
+	}
 	return cr, nil
 }
 
@@ -684,10 +781,30 @@ func merge(sp *Spec, chains []*chainRun) (*Result, error) {
 		}
 		if cr.sim != nil {
 			c.Requests = cr.sim.TotalRequests()
+		} else if tr, ok := cr.client.(requestReporter); ok {
+			c.Requests = tr.TotalRequests() - cr.reqBase
 		}
 		res.Chains = append(res.Chains, c)
 		res.TotalSteps += cr.steps
 		res.TotalQueries += c.Queries
+		if sp.shared == nil {
+			// Isolated caches: every chain pays the network for its own
+			// fetches, so the global cost is the sum of the chains'.
+			if cr.sim != nil {
+				res.GlobalQueries += cr.sim.QueryCost()
+			} else {
+				res.GlobalQueries += cr.client.QueryCost() - cr.base
+			}
+			res.GlobalRequests += c.Requests
+		}
+	}
+	if sp.shared != nil {
+		// One cache across chains: the shared ledger has the exact
+		// network cost and cross-chain savings.
+		res.GlobalQueries = sp.shared.GlobalCost()
+		res.GlobalRequests = sp.shared.TotalRequests()
+		res.CrossChainHits = sp.shared.CrossChainHits()
+		res.CrossChainHitRate = sp.shared.HitRate()
 	}
 	design := sp.design()
 	for e, es := range sp.Estimators {

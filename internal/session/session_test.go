@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"histwalk/internal/access"
@@ -309,6 +310,14 @@ func TestClientModeAttributeMeasure(t *testing.T) {
 	if res.TotalQueries > 30+1 {
 		t.Fatalf("spent %d, budget 30", res.TotalQueries)
 	}
+	// The client reports request totals, so Client mode must surface
+	// them like Graph mode does.
+	if res.Chains[0].Requests < res.Chains[0].Queries || res.Chains[0].Requests != sim.TotalRequests() {
+		t.Fatalf("client-mode Requests = %d, want the client's %d", res.Chains[0].Requests, sim.TotalRequests())
+	}
+	if res.GlobalRequests != res.Chains[0].Requests {
+		t.Fatalf("GlobalRequests = %d, want %d", res.GlobalRequests, res.Chains[0].Requests)
+	}
 }
 
 func TestRunUnknownAttribute(t *testing.T) {
@@ -345,6 +354,150 @@ func TestCostStepsMetering(t *testing.T) {
 		if c.Steps != spec.Budget {
 			t.Fatalf("chain took %d steps, want exactly the step budget %d", c.Steps, spec.Budget)
 		}
+	}
+}
+
+// TestSharedCacheBitIdenticalToIsolated is the PR's acceptance
+// criterion: for the same Spec, a multi-chain run with the shared
+// cross-chain cache must produce bit-identical per-chain trajectories,
+// estimates and budget accounting to the isolated-cache run, for any
+// Workers value — only the global network-cost accounting may differ,
+// and on an overlapping run the shared global cost must be strictly
+// below the sum of the per-chain costs.
+func TestSharedCacheBitIdenticalToIsolated(t *testing.T) {
+	g := testGraph(t)
+	spec := baseSpec(g)
+	spec.Chains = 8
+	spec.Budget = 40 // 8 chains × 40 on a ~120-node graph: heavy overlap
+	spec.Estimators = []EstimatorSpec{
+		{Kind: AggAvgDegree},
+		{Kind: AggMean, Attr: "score"},
+	}
+	iso, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		shSpec := spec
+		shSpec.Cache = CacheShared
+		shSpec.Workers = workers
+		sh, err := Run(context.Background(), shSpec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(iso.Estimates, sh.Estimates) {
+			t.Fatalf("workers=%d: estimates differ between cache policies:\n%+v\nvs\n%+v", workers, iso.Estimates, sh.Estimates)
+		}
+		if !reflect.DeepEqual(iso.Chains, sh.Chains) {
+			t.Fatalf("workers=%d: per-chain accounting differs between cache policies:\n%+v\nvs\n%+v", workers, iso.Chains, sh.Chains)
+		}
+		if iso.TotalSteps != sh.TotalSteps || iso.TotalQueries != sh.TotalQueries {
+			t.Fatalf("workers=%d: totals differ: steps %d vs %d, queries %d vs %d",
+				workers, iso.TotalSteps, sh.TotalSteps, iso.TotalQueries, sh.TotalQueries)
+		}
+		// The chains overlap, so the shared cache must have paid the
+		// network strictly less than the sum of per-chain costs.
+		if sh.GlobalQueries >= sh.TotalQueries {
+			t.Fatalf("workers=%d: shared global cost %d not below sum of per-chain costs %d",
+				workers, sh.GlobalQueries, sh.TotalQueries)
+		}
+		// Ledger identity: every chain-locally-new query either paid the
+		// network or hit a sibling's fetch.
+		if sh.GlobalQueries+sh.CrossChainHits != sh.TotalQueries {
+			t.Fatalf("workers=%d: ledger does not balance: %d global + %d hits != %d local",
+				workers, sh.GlobalQueries, sh.CrossChainHits, sh.TotalQueries)
+		}
+		if sh.CrossChainHits <= 0 || sh.CrossChainHitRate <= 0 || sh.CrossChainHitRate >= 1 {
+			t.Fatalf("workers=%d: hit accounting %d (rate %v) not in (0, 1)", workers, sh.CrossChainHits, sh.CrossChainHitRate)
+		}
+		if sh.GlobalQueries > g.NumNodes() {
+			t.Fatalf("workers=%d: global cost %d exceeds node count %d", workers, sh.GlobalQueries, g.NumNodes())
+		}
+	}
+	// Isolated runs report the degenerate global view: cost is the sum
+	// of per-chain costs and nothing crosses chains.
+	if iso.GlobalQueries != iso.TotalQueries || iso.CrossChainHits != 0 || iso.CrossChainHitRate != 0 {
+		t.Fatalf("isolated global accounting %d/%d/%v, want %d/0/0",
+			iso.GlobalQueries, iso.CrossChainHits, iso.CrossChainHitRate, iso.TotalQueries)
+	}
+}
+
+// TestSharedCacheSessionMatchesRun drives a shared-cache spec
+// incrementally and checks the final Result equals Run's — the
+// round-robin interleaving changes which chain pays the network for a
+// shared node, but never the deterministic totals.
+func TestSharedCacheSessionMatchesRun(t *testing.T) {
+	g := testGraph(t)
+	spec := baseSpec(g)
+	spec.Chains = 4
+	spec.Cache = CacheShared
+	batch, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	inc, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batch, inc) {
+		t.Fatalf("shared-cache session result differs from run result:\n%+v\nvs\n%+v", batch, inc)
+	}
+}
+
+// TestRunRefusesDegradedWalker: when a factory has to substitute a
+// fallback walker (here: a frontier sampler whose bootstrap queries an
+// exhausted client refused), the run must fail naming the degradation
+// instead of reporting a Result under the wrong algorithm label.
+func TestRunRefusesDegradedWalker(t *testing.T) {
+	g := testGraph(t)
+	exhausted := access.NewBudgeted(access.NewSimulator(g), 0)
+	_, err := Run(context.Background(), Spec{
+		Client: exhausted,
+		Start:  0,
+		Walker: core.FrontierFactory(3),
+		Budget: 10,
+		Seed:   4,
+	})
+	if err == nil {
+		t.Fatal("degraded walker ran under the Frontier label")
+	}
+	if !strings.Contains(err.Error(), "degraded") {
+		t.Fatalf("err = %v, want the degradation named", err)
+	}
+}
+
+func TestSharedCacheValidation(t *testing.T) {
+	g := testGraph(t)
+	sim := access.NewSimulator(g)
+	bad := []struct {
+		name string
+		spec Spec
+	}{
+		{"client mode", Spec{Client: sim, Walker: core.SRWFactory(), Budget: 10, Cache: CacheShared}},
+		{"unknown policy", Spec{Graph: g, Walker: core.SRWFactory(), Budget: 10, Cache: CachePolicy(9)}},
+	}
+	for _, tc := range bad {
+		if err := tc.spec.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid spec", tc.name)
+		}
+	}
+	ok := baseSpec(g)
+	ok.Cache = CacheShared
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid shared-cache spec rejected: %v", err)
 	}
 }
 

@@ -26,6 +26,9 @@ type (
 	Aggregate = session.Aggregate
 	// DesignChoice selects the estimator correction of a Spec.
 	DesignChoice = session.DesignChoice
+	// CachePolicy selects how a Spec's chains' query caches relate:
+	// isolated per-chain caches or one shared cross-chain crawl cache.
+	CachePolicy = session.CachePolicy
 	// Result is the outcome of a sampling run: pooled and per-chain
 	// estimates with confidence intervals, plus exact query-cost
 	// accounting.
@@ -52,6 +55,20 @@ const (
 	// AggProportion estimates the fraction of nodes whose measured
 	// value satisfies the spec's Predicate.
 	AggProportion = session.AggProportion
+)
+
+// Cache policies for Spec.Cache.
+const (
+	// CacheIsolated gives every chain its own private cache and query
+	// counter (the default): the network cost is the sum of the
+	// chains' costs.
+	CacheIsolated = session.CacheIsolated
+	// CacheShared pools all chains over one concurrency-safe shared
+	// crawl cache: trajectories, budgets and estimates stay
+	// bit-identical to CacheIsolated, while Result additionally
+	// reports the strictly smaller global network cost and the
+	// cross-chain hit rate.
+	CacheShared = session.CacheShared
 )
 
 // Design choices for Spec.Design.
