@@ -17,6 +17,7 @@ import (
 	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	"histwalk"
 	"histwalk/internal/stats"
@@ -503,4 +504,73 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkServiceThroughput measures the sampling-job service end to
+// end on one shared Manager: K identical-shape CNRW jobs (distinct
+// seeds) submitted together, waiting until every Result is served, at
+// K = 1, 4 and 16 concurrent jobs. The reported jobs_per_sec metric is
+// the service's completed-job throughput including admission, the
+// per-transition event stream and the final merge — the number
+// BENCH_service.json records. Every job's Result stays bit-identical
+// to a direct Run (asserted by the internal/service tests); this bench
+// only measures the cost of serving them concurrently.
+func BenchmarkServiceThroughput(b *testing.B) {
+	for _, jobs := range []int{1, 4, 16} {
+		b.Run("jobs="+itoa(jobs), func(b *testing.B) {
+			m := histwalk.NewManager(histwalk.ManagerOptions{
+				MaxConcurrent: jobs,
+				QueueDepth:    2 * jobs,
+				StoreLimit:    4 * jobs * (b.N + 1),
+			})
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				defer cancel()
+				if err := m.Shutdown(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}()
+			seed := int64(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids := make([]string, jobs)
+				for k := range ids {
+					st, err := m.Submit(histwalk.SpecJSON{
+						Dataset: "clustered",
+						Walker:  "cnrw",
+						Budget:  50,
+						Chains:  4,
+						Seed:    seed,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ids[k] = st.ID
+					seed++
+				}
+				for _, id := range ids {
+					after := 0
+					for {
+						evs, terminal, err := m.WaitEvents(context.Background(), id, after)
+						if err != nil {
+							b.Fatal(err)
+						}
+						after += len(evs)
+						if terminal {
+							break
+						}
+					}
+					st, err := m.Get(id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.State != histwalk.JobDone {
+						b.Fatalf("job %s ended %s (%s)", id, st.State, st.Error)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs_per_sec")
+		})
+	}
 }

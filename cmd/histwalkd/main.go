@@ -1,0 +1,108 @@
+// Command histwalkd is the sampling-job daemon: a long-lived HTTP
+// service that accepts serialized sampling-run specs, executes them
+// concurrently on the trial-execution engine, streams per-chain
+// progress (budget spend, running estimates, Gelman–Rubin R̂) over
+// Server-Sent Events, and serves finished Results — each bit-identical
+// to a direct histwalk.Run of the same spec.
+//
+// Usage:
+//
+//	histwalkd [-addr 127.0.0.1:8080] [-max-concurrent N]
+//	          [-queue N] [-store N] [-drain 30s]
+//
+// API (JSON; see internal/service for the full contract):
+//
+//	POST   /v1/jobs             submit a spec        → 202 job status
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        status + result
+//	GET    /v1/jobs/{id}/events SSE progress stream
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/metrics          service counters
+//	GET    /healthz             liveness
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/jobs -d \
+//	  '{"dataset":"gplus","walker":"cnrw","budget":1000,"chains":8,"seed":1}'
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: intake closes,
+// running jobs finish (within -drain), queued jobs are cancelled, and
+// event subscribers receive their terminal events before the listener
+// stops.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"histwalk"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "histwalkd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and serves until ctx is cancelled, then drains.
+// It is the whole daemon behind a testable seam: the e2e test drives it
+// on a random port and shuts it down by cancelling ctx.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("histwalkd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use port 0 for a random port)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "jobs running at once (0 = one per core)")
+	queueDepth := fs.Int("queue", 0, "admission queue depth (0 = 256)")
+	storeLimit := fs.Int("store", 0, "jobs kept in memory before terminal ones are evicted (0 = 1024)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-drain budget on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mgr := histwalk.NewManager(histwalk.ManagerOptions{
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queueDepth,
+		StoreLimit:    *storeLimit,
+	})
+	srv := &http.Server{Handler: histwalk.NewServiceHandler(mgr)}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "histwalkd listening on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(out, "histwalkd draining (budget %v)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the manager first: running jobs finish, queued jobs are
+	// cancelled, and every event subscriber observes a terminal event —
+	// which is what lets the HTTP shutdown below complete without
+	// killing live SSE streams mid-job.
+	drainErr := mgr.Shutdown(dctx)
+	if err := srv.Shutdown(dctx); err != nil {
+		srv.Close()
+	}
+	if drainErr != nil {
+		return fmt.Errorf("forced shutdown after drain budget: %w", drainErr)
+	}
+	fmt.Fprintln(out, "histwalkd stopped")
+	return nil
+}

@@ -18,10 +18,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"histwalk/internal/cliutil"
@@ -29,6 +33,10 @@ import (
 )
 
 var csvDir string
+
+// interrupted is the signal-aware run context: step uses it to tell a
+// cancelled experiment from a real failure.
+var interrupted context.Context
 
 func main() {
 	quick := flag.Bool("quick", false, "use the quick (bench-scale) configuration")
@@ -43,12 +51,20 @@ func main() {
 		os.Exit(1)
 	}
 
+	// SIGINT/SIGTERM cancels the run context: the trial engine stops
+	// dispatching, the in-flight experiment returns the cancellation,
+	// and the tables already printed stand as the partial reproduction.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	interrupted = ctx
+
 	cfg := experiment.FullConfig()
 	if *quick {
 		cfg = experiment.QuickConfig()
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Ctx = ctx
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -56,7 +72,9 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	run := func(id string) bool { return len(want) == 0 || want[id] }
+	run := func(id string) bool {
+		return (len(want) == 0 || want[id]) && ctx.Err() == nil
+	}
 
 	fmt.Printf("# histwalk reproduction (%s configuration, seed %d)\n\n",
 		mode(*quick), cfg.Seed)
@@ -164,7 +182,7 @@ func main() {
 				steps = 120000
 			}
 			tb, err := experiment.Theorem2Table(experiment.Theorem2Config{
-				Steps: steps, Seed: cfg.Seed, Workers: cfg.Workers,
+				Steps: steps, Seed: cfg.Seed, Workers: cfg.Workers, Ctx: cfg.Ctx,
 			})
 			if err != nil {
 				return err
@@ -188,7 +206,7 @@ func main() {
 				trials = 30
 			}
 			tb, err := experiment.AblationCirculationTable(experiment.AblationCirculationConfig{
-				CliqueSize: 10, Trials: trials, Seed: cfg.Seed, Workers: cfg.Workers,
+				CliqueSize: 10, Trials: trials, Seed: cfg.Seed, Workers: cfg.Workers, Ctx: cfg.Ctx,
 			})
 			if err != nil {
 				return err
@@ -211,6 +229,11 @@ func main() {
 		})
 	}
 
+	if ctx.Err() != nil {
+		fmt.Printf("\n# interrupted by signal after %v — the experiments above are the partial reproduction; rerun with -only for the rest\n",
+			time.Since(start).Round(time.Millisecond))
+		return
+	}
 	fmt.Printf("\n# done in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
@@ -257,6 +280,12 @@ func emitDistance(res *experiment.DistanceResult) error {
 func step(id string, fn func() error) {
 	t0 := time.Now()
 	if err := fn(); err != nil {
+		if interrupted != nil && interrupted.Err() != nil && errors.Is(err, context.Cause(interrupted)) {
+			// The signal cancelled this experiment mid-flight; main
+			// prints the partial-reproduction summary.
+			fmt.Printf("(%s interrupted after %v)\n\n", id, time.Since(t0).Round(time.Millisecond))
+			return
+		}
 		fmt.Fprintf(os.Stderr, "repro: %s failed: %v\n", id, err)
 		os.Exit(1)
 	}

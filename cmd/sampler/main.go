@@ -22,8 +22,10 @@
 // so the report shows the global network cost and the cross-chain hit
 // rate alongside the chain-local accounting.
 //
-// Algorithms: srw, mhrw, nbsrw, cnrw, cnrw-node, nbcnrw, gnrw-degree,
-// gnrw-md5, gnrw-reviews.
+// Algorithms come from the shared registry (histwalk.WalkerNames) —
+// the same names the histwalkd service accepts in job specs. SIGINT or
+// SIGTERM cancels the run and prints the partial result accumulated so
+// far instead of dying mid-walk.
 package main
 
 import (
@@ -31,7 +33,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"histwalk"
 	"histwalk/internal/cliutil"
@@ -40,7 +44,7 @@ import (
 func main() {
 	datasetName := flag.String("dataset", "facebook", "built-in dataset: "+strings.Join(histwalk.DatasetNames(), ", "))
 	edges := flag.String("edges", "", "edge-list file (overrides -dataset)")
-	algo := flag.String("algo", "cnrw", "algorithm: srw, mhrw, nbsrw, cnrw, cnrw-node, nbcnrw, gnrw-degree, gnrw-md5, gnrw-reviews")
+	algo := flag.String("algo", "cnrw", "algorithm: "+strings.Join(histwalk.WalkerNames(), ", "))
 	budget := flag.Int("budget", 500, "unique-query budget per chain")
 	attr := flag.String("attr", "degree", "measure attribute to aggregate (AVG)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -66,9 +70,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	factory, ok := factoryFor(*algo, *groups)
-	if !ok {
-		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	factory, err := histwalk.WalkerByName(*algo, histwalk.WalkerOptions{Groups: *groups})
+	if err != nil {
+		fail(err)
 	}
 
 	fmt.Printf("dataset %s: %d nodes, %d edges, avg degree %.2f\n",
@@ -91,9 +95,29 @@ func main() {
 		Seed:       *seed,
 		Confidence: 0.95,
 	}
-	res, err := histwalk.Run(context.Background(), spec)
+	// Drive the run under a signal-aware context: SIGINT/SIGTERM stops
+	// every chain cleanly, and whatever samples accumulated merge into
+	// a partial result below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sess, err := histwalk.NewSession(spec)
 	if err != nil {
 		fail(err)
+	}
+	interrupted := false
+	res, err := sess.Drive(ctx, nil)
+	if err != nil {
+		if ctx.Err() == nil {
+			fail(err)
+		}
+		interrupted = true
+		stop() // a second signal kills the process the default way
+		// Merge whatever the dispatched chains retained; chains the
+		// interruption reached before their first sample are omitted.
+		if res, err = sess.PartialResult(); err != nil {
+			fail(fmt.Errorf("interrupted before any chain retained a sample: %w", err))
+		}
+		fmt.Printf("interrupted — reporting the partial result of the %d chain(s) sampled so far\n", len(res.Chains))
 	}
 
 	truth := g.AvgDegree()
@@ -102,7 +126,11 @@ func main() {
 	}
 	est := res.Estimates[0]
 	fmt.Printf("algorithm        %s (estimator design: %s)\n", factory.Name, est.Design)
-	fmt.Printf("chains           %d × budget %d (workers %s)\n", *chains, *budget, workersLabel(*workers))
+	budgetLabel := ""
+	if interrupted {
+		budgetLabel = ", interrupted"
+	}
+	fmt.Printf("chains           %d × budget %d (workers %s%s)\n", *chains, *budget, workersLabel(*workers), budgetLabel)
 	fmt.Printf("total steps      %d\n", res.TotalSteps)
 	if *sharedCache {
 		fmt.Printf("unique queries   %d chain-local (budgets), %d paid to the network\n", res.TotalQueries, res.GlobalQueries)
@@ -113,7 +141,7 @@ func main() {
 	}
 	for i, c := range res.Chains {
 		fmt.Printf("chain %-3d        start %d, %d steps, %d queries (%d cache hits), estimate %.4f\n",
-			i, c.Start, c.Steps, c.Queries, c.Requests-c.Queries, est.PerChain[i])
+			c.Chain, c.Start, c.Steps, c.Queries, c.Requests-c.Queries, est.PerChain[i])
 	}
 	if est.GelmanRubin > 0 {
 		fmt.Printf("Gelman-Rubin R^  %.4f\n", est.GelmanRubin)
@@ -151,31 +179,6 @@ func loadGraph(edges, name string, seed int64) (*histwalk.Graph, error) {
 		return nil, fmt.Errorf("unknown dataset %q (have: %s)", name, strings.Join(histwalk.DatasetNames(), ", "))
 	}
 	return g, nil
-}
-
-func factoryFor(algo string, groups int) (histwalk.Factory, bool) {
-	switch algo {
-	case "srw":
-		return histwalk.SRWFactory(), true
-	case "mhrw":
-		return histwalk.MHRWFactory(), true
-	case "nbsrw":
-		return histwalk.NBSRWFactory(), true
-	case "cnrw":
-		return histwalk.CNRWFactory(), true
-	case "cnrw-node":
-		return histwalk.CNRWNodeFactory(), true
-	case "nbcnrw":
-		return histwalk.NBCNRWFactory(), true
-	case "gnrw-degree":
-		return histwalk.GNRWFactory(histwalk.DegreeGrouper{M: groups}), true
-	case "gnrw-md5":
-		return histwalk.GNRWFactory(histwalk.HashGrouper{M: groups}), true
-	case "gnrw-reviews":
-		return histwalk.GNRWFactory(histwalk.AttrGrouper{Attr: histwalk.AttrReviews, M: groups}), true
-	default:
-		return histwalk.Factory{}, false
-	}
 }
 
 func fail(err error) {

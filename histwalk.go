@@ -26,6 +26,12 @@
 //   - a deterministic worker-pool trial-execution engine (Engine, Job,
 //     RunParallel) that fans independent seeded trials out over all
 //     cores while keeping results bit-identical for any worker count;
+//   - a sampling-job service (Manager, NewServiceHandler, cmd/histwalkd):
+//     serialized specs (SpecJSON) submitted over an HTTP JSON API run
+//     concurrently with bounded parallelism, stream per-chain progress
+//     over SSE, and return Results bit-identical to a direct Run —
+//     walkers and estimators resolve through the shared name registry
+//     (WalkerByName, EstimatorByName);
 //   - the full experiment harness that regenerates every table and
 //     figure of the paper's evaluation, with every trial loop running
 //     on the engine (cmd/repro -workers selects the pool size).

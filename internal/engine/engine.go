@@ -53,7 +53,13 @@ func (e *Engine) Workers() int {
 // Each runs fn(ctx, i) for every i in [0, n) on the worker pool and
 // waits for completion. The first error (by lowest trial index among
 // failed trials) cancels the remaining work and is returned; a
-// cancellation of ctx likewise stops the pool and returns ctx's error.
+// cancellation of ctx likewise stops the pool and returns the
+// cancellation *cause* (context.Cause), so a caller that cancels one
+// submission with a sentinel cause — e.g. a job manager cancelling a
+// single job — gets that sentinel back instead of a bare
+// context.Canceled. Concurrent Each calls are fully independent: each
+// call derives its own cancellation scope, so cancelling or failing one
+// submission never poisons a sibling running on the same Engine.
 // fn must confine its writes to state owned by index i.
 func (e *Engine) Each(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
@@ -69,7 +75,7 @@ func (e *Engine) Each(ctx context.Context, n int, fn func(ctx context.Context, i
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
-				return err
+				return context.Cause(ctx)
 			}
 			if err := fn(ctx, i); err != nil {
 				return err
@@ -125,7 +131,14 @@ func (e *Engine) Each(ctx context.Context, n int, fn func(ctx context.Context, i
 	if err != nil {
 		return err
 	}
-	return ctx.Err()
+	if ctx.Err() != nil {
+		// The pool's own cancel only fires alongside a recorded firstErr,
+		// so reaching here means the caller's ctx was cancelled: report
+		// its cause (context.Cause falls back to context.Canceled when no
+		// explicit cause was attached).
+		return context.Cause(ctx)
+	}
+	return nil
 }
 
 // Run executes job.Trials independent seeded trials on the pool and

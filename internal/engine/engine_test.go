@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -252,5 +253,93 @@ func TestTrialSimulatorIsPrivate(t *testing.T) {
 		if res.QueryCost < job.Budgets[0] || res.QueryCost > g.NumNodes() {
 			t.Fatalf("trial %d: query cost %d outside private-simulator range", i, res.QueryCost)
 		}
+	}
+}
+
+// TestEachReturnsCancellationCause asserts that cancelling the caller's
+// ctx with an explicit cause surfaces that cause from Each — the
+// mechanism a job manager uses to distinguish "this job was cancelled"
+// from "the whole pool is shutting down". The trial blocks mid-run on
+// ctx.Done, so this also covers cancellation landing while work is in
+// flight, not just between dispatches.
+func TestEachReturnsCancellationCause(t *testing.T) {
+	errJobCancelled := errors.New("job cancelled by operator")
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancelCause(context.Background())
+		var started sync.Once
+		err := New(Options{Workers: workers}).Each(ctx, 64, func(ctx context.Context, i int) error {
+			started.Do(func() { cancel(errJobCancelled) })
+			<-ctx.Done() // mid-trial: block until the cancellation arrives
+			return nil
+		})
+		if !errors.Is(err, errJobCancelled) {
+			t.Fatalf("workers=%d: err = %v, want errJobCancelled cause", workers, err)
+		}
+		cancel(nil)
+	}
+}
+
+// TestEachCancelledCauseAlreadyExpired asserts the cause is also
+// reported when the ctx arrives already cancelled.
+func TestEachCancelledCauseAlreadyExpired(t *testing.T) {
+	cause := errors.New("expired before submission")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := New(Options{Workers: workers}).Each(ctx, 16, func(context.Context, int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, cause) {
+			t.Fatalf("workers=%d: err = %v, want pre-set cause", workers, err)
+		}
+		if workers == 1 && ran.Load() != 0 {
+			t.Fatalf("serial path ran %d trials under a dead ctx", ran.Load())
+		}
+	}
+}
+
+// TestEachSiblingSubmissionsIsolated runs two concurrent submissions on
+// one shared Engine and cancels only the first: the sibling must finish
+// all its work unpoisoned, which is what lets a job manager schedule
+// many jobs over one engine configuration.
+func TestEachSiblingSubmissionsIsolated(t *testing.T) {
+	eng := New(Options{Workers: 4})
+	ctxA, cancelA := context.WithCancelCause(context.Background())
+	defer cancelA(nil)
+	errA := errors.New("job A cancelled")
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	var gotA error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var once sync.Once
+		gotA = eng.Each(ctxA, 32, func(ctx context.Context, i int) error {
+			once.Do(func() {
+				close(release) // let the sibling start once A is mid-flight
+				cancelA(errA)
+			})
+			<-ctx.Done()
+			return nil
+		})
+	}()
+
+	<-release
+	var ranB atomic.Int64
+	if err := eng.Each(context.Background(), 100, func(context.Context, int) error {
+		ranB.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("sibling submission failed: %v", err)
+	}
+	if ranB.Load() != 100 {
+		t.Fatalf("sibling ran %d/100 trials", ranB.Load())
+	}
+	wg.Wait()
+	if !errors.Is(gotA, errA) {
+		t.Fatalf("cancelled submission err = %v, want its own cause", gotA)
 	}
 }

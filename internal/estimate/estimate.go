@@ -42,6 +42,30 @@ func (d Design) String() string {
 	}
 }
 
+// MarshalJSON encodes the design as its String form, so serialized
+// results read "degree-proportional" rather than a bare enum integer.
+func (d Design) MarshalJSON() ([]byte, error) {
+	switch d {
+	case DegreeProportional, Uniform:
+		return []byte(`"` + d.String() + `"`), nil
+	default:
+		return nil, fmt.Errorf("estimate: cannot marshal unknown design %d", int(d))
+	}
+}
+
+// UnmarshalJSON decodes the String form produced by MarshalJSON.
+func (d *Design) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"degree-proportional"`:
+		*d = DegreeProportional
+	case `"uniform"`:
+		*d = Uniform
+	default:
+		return fmt.Errorf("estimate: unknown design %s", b)
+	}
+	return nil
+}
+
 // ErrNoSamples is returned when an estimate is requested before any
 // sample was added.
 var ErrNoSamples = errors.New("estimate: no samples")

@@ -9,11 +9,12 @@ import (
 // Interval is a confidence interval around a point estimate.
 type Interval struct {
 	// Point is the estimate.
-	Point float64
+	Point float64 `json:"point"`
 	// Low and High bound the interval.
-	Low, High float64
+	Low  float64 `json:"low"`
+	High float64 `json:"high"`
 	// StdErr is the standard error the interval was built from.
-	StdErr float64
+	StdErr float64 `json:"std_err"`
 }
 
 // Contains reports whether x lies inside the interval.

@@ -32,6 +32,9 @@ type AblationCirculationConfig struct {
 	Seed int64
 	// Workers bounds concurrent trial execution (0 = GOMAXPROCS).
 	Workers int
+	// Ctx, when non-nil, cancels the experiment early: the engine stops
+	// dispatching trials and the runner returns the cancellation cause.
+	Ctx context.Context
 }
 
 // AblationCirculationTable measures the trial-to-trial standard
@@ -68,7 +71,7 @@ func AblationCirculationTable(cfg AblationCirculationConfig) (*Table, error) {
 	srwSD := 0.0
 	for _, f := range variants {
 		occupancy := make([]float64, cfg.Trials)
-		err := eng.Each(context.Background(), cfg.Trials, func(_ context.Context, tr int) error {
+		err := eng.Each(ctxOf(cfg.Ctx), cfg.Trials, func(_ context.Context, tr int) error {
 			rng := rand.New(rand.NewSource(engine.TrialSeed(cfg.Seed, stream, tr)))
 			sim := access.NewSimulator(g)
 			wk := f.New(sim, 0, rng)
@@ -130,6 +133,7 @@ func AblationGroupCountFigure(c PaperConfig) (*Figure, error) {
 		Trials:    c.EstimationTrials,
 		Seed:      c.Seed * 9000,
 		Workers:   c.Workers,
+		Ctx:       c.Ctx,
 	})
 }
 
@@ -153,5 +157,6 @@ func AblationFrontierFigure(c PaperConfig) (*Figure, error) {
 		Trials:  c.EstimationTrials,
 		Seed:    c.Seed * 9500,
 		Workers: c.Workers,
+		Ctx:     c.Ctx,
 	})
 }

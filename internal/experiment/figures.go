@@ -46,6 +46,9 @@ type EstimationConfig struct {
 	// Workers bounds concurrent trial execution (0 = GOMAXPROCS).
 	// Results are identical for every worker count.
 	Workers int
+	// Ctx, when non-nil, cancels the experiment early: the engine stops
+	// dispatching trials and the runner returns the cancellation cause.
+	Ctx context.Context
 }
 
 // EstimationFigure measures, for each algorithm and query budget, the
@@ -74,7 +77,7 @@ func EstimationFigure(cfg EstimationConfig) (*Figure, error) {
 	}
 	stream := engine.StreamID("estimation", label)
 	for _, f := range cfg.Factories {
-		results, err := eng.Run(context.Background(), engine.Job{
+		results, err := eng.Run(ctxOf(cfg.Ctx), engine.Job{
 			Graph:   cfg.Graph,
 			Factory: f,
 			Attr:    cfg.Attr,
@@ -129,6 +132,9 @@ type DistanceConfig struct {
 	Cost CostModel
 	// Workers bounds concurrent trial execution (0 = GOMAXPROCS).
 	Workers int
+	// Ctx, when non-nil, cancels the experiment early: the engine stops
+	// dispatching trials and the runner returns the cancellation cause.
+	Ctx context.Context
 }
 
 // DistanceResult bundles the three sub-figures produced by
@@ -171,7 +177,7 @@ func DistanceFigures(cfg DistanceConfig) (*DistanceResult, error) {
 	eng := engine.New(engine.Options{Workers: cfg.Workers})
 	stream := engine.StreamID("distance", cfg.IDPrefix)
 	for _, f := range cfg.Factories {
-		results, err := eng.Run(context.Background(), engine.Job{
+		results, err := eng.Run(ctxOf(cfg.Ctx), engine.Job{
 			Graph:   cfg.Graph,
 			Factory: f,
 			Attr:    cfg.Attr,
@@ -255,6 +261,9 @@ type StationaryConfig struct {
 	Seed int64
 	// Workers bounds concurrent walk execution (0 = GOMAXPROCS).
 	Workers int
+	// Ctx, when non-nil, cancels the experiment early: the engine stops
+	// dispatching trials and the runner returns the cancellation cause.
+	Ctx context.Context
 }
 
 // StationaryFigure runs the Figure 8 experiment. The returned figure has
@@ -287,7 +296,7 @@ func StationaryFigure(cfg StationaryConfig) (*Figure, error) {
 		// though integer sums commute anyway) is deterministic for any
 		// worker count.
 		walkCounts := make([][]float64, cfg.Walks)
-		err := eng.Each(context.Background(), cfg.Walks, func(_ context.Context, w int) error {
+		err := eng.Each(ctxOf(cfg.Ctx), cfg.Walks, func(_ context.Context, w int) error {
 			rng := rand.New(rand.NewSource(engine.TrialSeed(cfg.Seed, stream, w)))
 			start, err := randomStart(cfg.Graph, rng)
 			if err != nil {
@@ -387,6 +396,9 @@ type SizeSweepConfig struct {
 	Cost CostModel
 	// Workers bounds concurrent trial execution (0 = GOMAXPROCS).
 	Workers int
+	// Ctx, when non-nil, cancels the experiment early: the engine stops
+	// dispatching trials and the runner returns the cancellation cause.
+	Ctx context.Context
 }
 
 // SizeSweepFigures runs the Figure 11 experiment: for each graph size it
@@ -426,6 +438,7 @@ func SizeSweepFigures(cfg SizeSweepConfig) (*DistanceResult, error) {
 			Seed:      cfg.Seed,
 			Cost:      cfg.Cost,
 			Workers:   cfg.Workers,
+			Ctx:       cfg.Ctx,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: size %d: %w", size, err)
@@ -465,6 +478,9 @@ type EscapeConfig struct {
 	Seed int64
 	// Workers bounds concurrent episode execution (0 = GOMAXPROCS).
 	Workers int
+	// Ctx, when non-nil, cancels the experiment early: the engine stops
+	// dispatching trials and the runner returns the cancellation cause.
+	Ctx context.Context
 }
 
 // EscapeResult reports the empirical Theorem 3 quantities.
@@ -607,7 +623,7 @@ func BarbellEscape(cfg EscapeConfig) (*EscapeResult, error) {
 	episodeStream := engine.StreamID("escape-episodes")
 	meanEscape := func(mk func(c access.Client, s graph.Node, r *rand.Rand) core.Walker) (float64, error) {
 		perEpisode := make([]float64, cfg.Episodes)
-		err := eng.Each(context.Background(), cfg.Episodes, func(_ context.Context, e int) error {
+		err := eng.Each(ctxOf(cfg.Ctx), cfg.Episodes, func(_ context.Context, e int) error {
 			erng := rand.New(rand.NewSource(engine.TrialSeed(cfg.Seed, episodeStream, e)))
 			esim := access.NewSimulator(g)
 			start := graph.Node(erng.Intn(k)) // uniform in G1

@@ -5,6 +5,7 @@ package experiment
 // and EXPERIMENTS.md all run exactly the same protocols.
 
 import (
+	"context"
 	"fmt"
 
 	"histwalk/internal/core"
@@ -39,6 +40,9 @@ type PaperConfig struct {
 	// Workers bounds the trial-execution engine's fan-out for every
 	// figure (0 = GOMAXPROCS). Outputs are identical for any value.
 	Workers int
+	// Ctx, when non-nil, cancels the experiment early: the engine stops
+	// dispatching trials and the runner returns the cancellation cause.
+	Ctx context.Context
 }
 
 // QuickConfig returns a configuration sized for benches and CI: every
@@ -147,6 +151,7 @@ func Figure6(c PaperConfig) (*Figure, error) {
 		Trials:    c.EstimationTrials,
 		Seed:      c.Seed * 1000,
 		Workers:   c.Workers,
+		Ctx:       c.Ctx,
 	})
 }
 
@@ -168,6 +173,7 @@ func Figure7(c PaperConfig) (*DistanceResult, error) {
 		Seed:      c.Seed * 2000,
 		Cost:      CostSteps,
 		Workers:   c.Workers,
+		Ctx:       c.Ctx,
 	})
 }
 
@@ -189,6 +195,7 @@ func Figure7d(c PaperConfig) (*Figure, error) {
 		Trials:  c.EstimationTrials,
 		Seed:    c.Seed * 3000,
 		Workers: c.Workers,
+		Ctx:     c.Ctx,
 	})
 }
 
@@ -219,6 +226,7 @@ func Figure8(c PaperConfig, which int) (*Figure, error) {
 		StepsPerWalk: c.StationarySteps,
 		Seed:         c.Seed * 4000,
 		Workers:      c.Workers,
+		Ctx:          c.Ctx,
 	})
 }
 
@@ -248,6 +256,7 @@ func Figure9(c PaperConfig) (*Figure, *Figure, error) {
 		Trials:    c.EstimationTrials,
 		Seed:      c.Seed * 5000,
 		Workers:   c.Workers,
+		Ctx:       c.Ctx,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -263,6 +272,7 @@ func Figure9(c PaperConfig) (*Figure, *Figure, error) {
 		Trials:    c.EstimationTrials,
 		Seed:      c.Seed * 5000,
 		Workers:   c.Workers,
+		Ctx:       c.Ctx,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -287,6 +297,7 @@ func Figure10(c PaperConfig) (*DistanceResult, error) {
 		Seed:      c.Seed * 6000,
 		Cost:      CostSteps,
 		Workers:   c.Workers,
+		Ctx:       c.Ctx,
 	})
 }
 
@@ -307,6 +318,7 @@ func Figure10Unique(c PaperConfig) (*DistanceResult, error) {
 		Seed:      c.Seed * 6500,
 		Cost:      CostUnique,
 		Workers:   c.Workers,
+		Ctx:       c.Ctx,
 	})
 }
 
@@ -334,6 +346,7 @@ func Figure11(c PaperConfig) (*DistanceResult, error) {
 		Seed:    c.Seed * 7000,
 		Cost:    CostSteps,
 		Workers: c.Workers,
+		Ctx:     c.Ctx,
 	})
 }
 
@@ -349,6 +362,7 @@ func Theorem3(c PaperConfig) (*EscapeResult, error) {
 		Episodes:   c.EscapeEpisodes,
 		Seed:       c.Seed * 8000,
 		Workers:    c.Workers,
+		Ctx:        c.Ctx,
 	})
 }
 

@@ -6,6 +6,7 @@ package experiment
 // rather than walk execution.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -13,6 +14,16 @@ import (
 	"histwalk/internal/estimate"
 	"histwalk/internal/graph"
 )
+
+// ctxOf returns ctx, or context.Background for configs that did not set
+// one — experiment configs carry an optional Ctx so cmd/repro can stop
+// every trial loop on SIGINT.
+func ctxOf(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
 
 // CostModel selects how a walk's spend is metered against the budget.
 // See engine.CostModel.

@@ -27,6 +27,9 @@ type Theorem2Config struct {
 	Seed int64
 	// Workers bounds concurrent walk measurements (0 = GOMAXPROCS).
 	Workers int
+	// Ctx, when non-nil, cancels the experiment early: the engine stops
+	// dispatching trials and the runner returns the cancellation cause.
+	Ctx context.Context
 }
 
 // Theorem2Row is one graph's worth of results.
@@ -107,7 +110,7 @@ func Theorem2Results(cfg Theorem2Config) ([]Theorem2Row, error) {
 			core.GNRWFactory(core.HashGrouper{M: 3}),
 		}
 		emp := make([]float64, len(factories))
-		err = eng.Each(context.Background(), len(factories), func(_ context.Context, i int) error {
+		err = eng.Each(ctxOf(cfg.Ctx), len(factories), func(_ context.Context, i int) error {
 			rng := rand.New(rand.NewSource(cfg.Seed))
 			sim := access.NewSimulator(tc.g)
 			w := factories[i].New(sim, 0, rng)

@@ -1,0 +1,82 @@
+// Package registry names the library's walker algorithms so they can be
+// selected by string — from a command-line flag (cmd/sampler's -algo) or
+// from a serialized job spec submitted to the sampling service
+// (internal/service, cmd/histwalkd). The registry is the single source
+// of truth for those names: the CLI help text, the wire-format
+// validation errors and the service API all enumerate the same set.
+//
+// Only walkers that are safe to run under their registered label are
+// listed. The frontier samplers are deliberately absent: their factories
+// can degrade to a plain SRW/CNRW when the bootstrap fails
+// (core.Degraded), and every run site in this repository refuses to run
+// a walk whose label does not match its algorithm.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"histwalk/internal/core"
+	"histwalk/internal/dataset"
+)
+
+// WalkerOptions carries the parameters a named walker may need beyond
+// its name. The zero value selects the documented defaults.
+type WalkerOptions struct {
+	// Groups is m, the number of strata used by the GNRW groupers
+	// (0 = 5, the paper's default).
+	Groups int
+}
+
+func (o WalkerOptions) groups() int {
+	if o.Groups > 0 {
+		return o.Groups
+	}
+	return 5
+}
+
+// builders maps each registered name to its factory constructor.
+// Names are lower-case and hyphenated, matching cmd/sampler's
+// historical -algo values.
+var builders = map[string]func(WalkerOptions) core.Factory{
+	"srw":       func(WalkerOptions) core.Factory { return core.SRWFactory() },
+	"mhrw":      func(WalkerOptions) core.Factory { return core.MHRWFactory() },
+	"nbsrw":     func(WalkerOptions) core.Factory { return core.NBSRWFactory() },
+	"cnrw":      func(WalkerOptions) core.Factory { return core.CNRWFactory() },
+	"cnrw-node": func(WalkerOptions) core.Factory { return core.CNRWNodeFactory() },
+	"nbcnrw":    func(WalkerOptions) core.Factory { return core.NBCNRWFactory() },
+	"gnrw-degree": func(o WalkerOptions) core.Factory {
+		return core.GNRWFactory(core.DegreeGrouper{M: o.groups()})
+	},
+	"gnrw-md5": func(o WalkerOptions) core.Factory {
+		return core.GNRWFactory(core.HashGrouper{M: o.groups()})
+	},
+	"gnrw-reviews": func(o WalkerOptions) core.Factory {
+		return core.GNRWFactory(core.AttrGrouper{Attr: dataset.AttrReviews, M: o.groups()})
+	},
+}
+
+// WalkerByName resolves a registered algorithm name to its factory.
+// Unknown names report the full registered set.
+func WalkerByName(name string, opts WalkerOptions) (core.Factory, error) {
+	if opts.Groups < 0 {
+		return core.Factory{}, fmt.Errorf("registry: Groups must be >= 0, got %d", opts.Groups)
+	}
+	b, ok := builders[strings.ToLower(name)]
+	if !ok {
+		return core.Factory{}, fmt.Errorf("registry: unknown walker %q (have: %s)",
+			name, strings.Join(WalkerNames(), ", "))
+	}
+	return b(opts), nil
+}
+
+// WalkerNames lists the registered algorithm names, sorted.
+func WalkerNames() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

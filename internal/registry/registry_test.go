@@ -1,0 +1,90 @@
+package registry
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"histwalk/internal/access"
+	"histwalk/internal/core"
+	"histwalk/internal/graph"
+)
+
+// TestWalkerByNameCoversCatalog resolves every registered name and
+// checks the factory builds a working, correctly-labeled walker.
+func TestWalkerByNameCoversCatalog(t *testing.T) {
+	wantLabels := map[string]string{
+		"srw":          "SRW",
+		"mhrw":         "MHRW",
+		"nbsrw":        "NB-SRW",
+		"cnrw":         "CNRW",
+		"cnrw-node":    "CNRW-node",
+		"nbcnrw":       "NB-CNRW",
+		"gnrw-degree":  "GNRW(By-Degree)",
+		"gnrw-md5":     "GNRW(By-MD5)",
+		"gnrw-reviews": "GNRW(By-reviews_count)",
+	}
+	g := graph.Complete(12)
+	for _, name := range WalkerNames() {
+		f, err := WalkerByName(name, WalkerOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, ok := wantLabels[name]
+		if !ok {
+			t.Fatalf("registered name %q missing from the label table — update the test", name)
+		}
+		if f.Name != want {
+			t.Errorf("%s: factory name %q, want %q", name, f.Name, want)
+		}
+		w := f.New(access.NewSimulator(g), 0, rand.New(rand.NewSource(1)))
+		if _, isDegraded := w.(*core.Degraded); isDegraded {
+			t.Errorf("%s: registry built a degraded walker", name)
+		}
+		if _, err := w.Step(); err != nil && name != "gnrw-reviews" {
+			// gnrw-reviews needs the reviews attribute, absent on K12.
+			t.Errorf("%s: first step failed: %v", name, err)
+		}
+	}
+	if len(WalkerNames()) != len(wantLabels) {
+		t.Fatalf("registry has %d names, label table %d", len(WalkerNames()), len(wantLabels))
+	}
+}
+
+func TestWalkerByNameUnknown(t *testing.T) {
+	_, err := WalkerByName("quantum-walk", WalkerOptions{})
+	if err == nil {
+		t.Fatal("unknown walker accepted")
+	}
+	if !strings.Contains(err.Error(), "cnrw") {
+		t.Fatalf("error does not list the catalog: %v", err)
+	}
+	if _, err := WalkerByName("cnrw", WalkerOptions{Groups: -1}); err == nil {
+		t.Fatal("negative Groups accepted")
+	}
+}
+
+// TestWalkerByNameCaseInsensitive accepts the spelling users type.
+func TestWalkerByNameCaseInsensitive(t *testing.T) {
+	f, err := WalkerByName("CNRW", WalkerOptions{})
+	if err != nil || f.Name != "CNRW" {
+		t.Fatalf("WalkerByName(CNRW) = %+v, %v", f, err)
+	}
+}
+
+// TestGroupsOptionReachesGrouper builds gnrw-degree at two strata
+// counts and checks the label stays stable while the grouper differs in
+// behavior (different factories must still both run).
+func TestGroupsOptionReachesGrouper(t *testing.T) {
+	g := graph.Complete(16)
+	for _, m := range []int{2, 8} {
+		f, err := WalkerByName("gnrw-degree", WalkerOptions{Groups: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := f.New(access.NewSimulator(g), 0, rand.New(rand.NewSource(3)))
+		if _, err := w.Step(); err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+	}
+}

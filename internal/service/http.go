@@ -1,0 +1,159 @@
+package service
+
+// HTTP JSON API over a Manager. cmd/histwalkd serves this handler;
+// tests drive it through net/http/httptest. Endpoints:
+//
+//	POST   /v1/jobs             submit a session.SpecJSON     → 202 JobStatus
+//	GET    /v1/jobs             list jobs                     → 200 [JobStatus]
+//	GET    /v1/jobs/{id}        status + result               → 200 JobStatus
+//	GET    /v1/jobs/{id}/events per-chain progress stream     → 200 SSE
+//	DELETE /v1/jobs/{id}        cancel                        → 200 JobStatus
+//	GET    /v1/metrics          service counters              → 200 Metrics
+//	GET    /healthz             liveness                      → 200
+//
+// The event stream is Server-Sent Events: each Event goes out as one
+// SSE message whose id is the event's per-job sequence number and whose
+// event field is the Event.Type; a reconnecting client resumes from
+// Last-Event-ID, replaying nothing it has seen. The stream ends after
+// the job's terminal event.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"histwalk/internal/session"
+)
+
+// apiError is the JSON error body of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// statusFor maps manager errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, ErrJobTerminal):
+		return http.StatusConflict
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), apiError{Error: err.Error()})
+}
+
+// NewHandler returns the HTTP API over m.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var wire session.SpecJSON
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&wire); err != nil {
+			writeError(w, fmt.Errorf("decoding spec: %w", err))
+			return
+		}
+		st, err := m.Submit(wire)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+st.ID)
+		writeJSON(w, http.StatusAccepted, st)
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, err := m.Get(id); err != nil {
+			writeError(w, err)
+			return
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: "streaming unsupported"})
+			return
+		}
+		after := 0
+		if last := r.Header.Get("Last-Event-ID"); last != "" {
+			if n, err := strconv.Atoi(last); err == nil && n > 0 {
+				after = n
+			}
+		}
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-cache")
+		h.Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		for {
+			evs, terminal, err := m.WaitEvents(r.Context(), id, after)
+			if err != nil {
+				return // client went away (or the job was evicted)
+			}
+			for _, ev := range evs {
+				b, err := json.Marshal(ev)
+				if err != nil {
+					return
+				}
+				fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, b)
+				after = ev.Seq
+			}
+			fl.Flush()
+			if terminal && len(evs) == 0 {
+				return // log fully replayed past the terminal event
+			}
+		}
+	})
+
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Metrics())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	return mux
+}

@@ -1,0 +1,277 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"histwalk/internal/session"
+)
+
+// testServer starts an httptest server over a fresh manager.
+func testServer(t *testing.T, opts Options) (*httptest.Server, *Manager) {
+	t.Helper()
+	m := NewManager(opts)
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		shutdown(t, m)
+	})
+	return srv, m
+}
+
+func postJob(t *testing.T, url string, w session.SpecJSON) JobStatus {
+	t.Helper()
+	body, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs = %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, "/v1/jobs/") {
+		t.Fatalf("Location = %q", loc)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPLifecycle walks the whole API: submit, poll, list, events,
+// metrics, and checks the fetched result round-trips to exactly the
+// direct Run outcome.
+func TestHTTPLifecycle(t *testing.T) {
+	srv, _ := testServer(t, Options{MaxConcurrent: 2})
+	w := wire(41)
+	st := postJob(t, srv.URL, w)
+	if st.State != StateQueued && st.State != StateRunning {
+		t.Fatalf("fresh job state %s", st.State)
+	}
+
+	var fin JobStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code := getJSON(t, srv.URL+"/v1/jobs/"+st.ID, &fin); code != http.StatusOK {
+			t.Fatalf("GET job = %d", code)
+		}
+		if fin.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if fin.State != StateDone || fin.Result == nil {
+		t.Fatalf("job ended %s (%s)", fin.State, fin.Error)
+	}
+
+	spec, err := w.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := session.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fin.Result, want) {
+		t.Fatalf("HTTP-fetched result differs from direct Run:\n%+v\nvs\n%+v", fin.Result, want)
+	}
+
+	var list []JobStatus
+	if code := getJSON(t, srv.URL+"/v1/jobs", &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("GET /v1/jobs = %d, %d jobs", code, len(list))
+	}
+	var met Metrics
+	if code := getJSON(t, srv.URL+"/v1/metrics", &met); code != http.StatusOK {
+		t.Fatalf("GET /v1/metrics = %d", code)
+	}
+	if met.Submitted != 1 || met.Done != 1 {
+		t.Fatalf("metrics %+v", met)
+	}
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+}
+
+// sseEvent is one parsed SSE message.
+type sseEvent struct {
+	id    int
+	event string
+	data  Event
+}
+
+// readSSE consumes an SSE stream to EOF.
+func readSSE(t *testing.T, resp *http.Response) []sseEvent {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var out []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" {
+				out = append(out, cur)
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(line, "id: %d", &cur.id)
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.data); err != nil {
+				t.Fatalf("bad event payload %q: %v", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestHTTPEventStream subscribes to a job's SSE stream from the start
+// and checks ordering, per-chain monotone budgets and the terminal
+// result; then it reconnects with Last-Event-ID and expects only the
+// tail.
+func TestHTTPEventStream(t *testing.T) {
+	srv, _ := testServer(t, Options{MaxConcurrent: 1})
+	st := postJob(t, srv.URL, wire(42))
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := readSSE(t, resp)
+	if len(evs) < 3 {
+		t.Fatalf("only %d events", len(evs))
+	}
+	if evs[0].event != "state" || evs[0].data.State != StateQueued {
+		t.Fatalf("first event %+v", evs[0])
+	}
+	last := evs[len(evs)-1]
+	if last.event != "result" || last.data.Result == nil {
+		t.Fatalf("last event %+v", last)
+	}
+	spent := map[int]int{}
+	for i, ev := range evs {
+		if ev.id != i+1 {
+			t.Fatalf("event %d has id %d (gap or reorder)", i, ev.id)
+		}
+		if ev.event == "progress" {
+			c := ev.data.Chain
+			if c == nil {
+				t.Fatalf("progress without chain: %+v", ev)
+			}
+			if c.Spent < spent[c.Chain] {
+				t.Fatalf("chain %d spent went backwards over SSE", c.Chain)
+			}
+			spent[c.Chain] = c.Spent
+		}
+	}
+
+	// Resume: replay only past the given Last-Event-ID.
+	req, err := http.NewRequest("GET", srv.URL+"/v1/jobs/"+st.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", fmt.Sprint(len(evs)-2))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := readSSE(t, resp2)
+	if len(tail) != 2 || tail[0].id != len(evs)-1 {
+		t.Fatalf("resume returned %d events starting at %d", len(tail), tail[0].id)
+	}
+}
+
+// TestHTTPErrors exercises the error statuses.
+func TestHTTPErrors(t *testing.T) {
+	srv, _ := testServer(t, Options{MaxConcurrent: 1})
+
+	if code := getJSON(t, srv.URL+"/v1/jobs/j99999-deadbeef", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job GET = %d", code)
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"dataset":"clustered","walker":"warp-drive","budget":10,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad walker POST = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"dataset":"clustered","walker":"cnrw","budget":10,"seed":1,"bogus_field":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown-field POST = %d (DisallowUnknownFields not applied?)", resp.StatusCode)
+	}
+
+	// Cancel of a finished job → 409.
+	st := postJob(t, srv.URL, wire(43))
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var cur JobStatus
+		getJSON(t, srv.URL+"/v1/jobs/"+st.ID, &cur)
+		if cur.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	req, err := http.NewRequest("DELETE", srv.URL+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE terminal job = %d, want 409", resp.StatusCode)
+	}
+}

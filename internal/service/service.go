@@ -1,0 +1,550 @@
+// Package service turns the sampling library into a long-lived,
+// concurrent, multi-tenant system: a Manager accepts serialized job
+// specs (session.SpecJSON), executes them with bounded concurrency on
+// the deterministic trial-execution engine, tracks every job through
+// the lifecycle queued → running → done/failed/cancelled, streams
+// per-chain progress events, and drains gracefully on shutdown.
+// cmd/histwalkd exposes a Manager over an HTTP JSON API (see
+// NewHandler); the root histwalk package re-exports the types.
+//
+// The paper's workload is exactly this shape: crawling a live,
+// rate-limited OSN interface takes hours-to-days per run (§2.1's query
+// rate limits), so a practical deployment submits a crawl, watches its
+// Gelman–Rubin diagnostics converge, and fetches the result later —
+// while other tenants' crawls share the process.
+//
+// The subsystem preserves the repository's core invariant: a job's
+// Result is bit-identical to a direct session.Run of the same resolved
+// Spec, no matter how many other jobs are in flight. That holds by
+// construction — each job drives its own session.Session on one
+// goroutine (chains share no mutable state, seeds derive from the
+// spec, never from scheduling) — and is enforced by tests that
+// interleave ≥4 concurrent jobs against direct runs.
+//
+// Concurrency layering: the manager's workers *are* engine workers —
+// NewManager submits MaxConcurrent queue-draining loops to one
+// engine.Engine invocation, so job-level parallelism is bounded by the
+// same worker-pool substrate every experiment loop runs on. Job
+// cancellation uses per-job context causes (engine.Each returns
+// context.Cause), so cancelling one job never poisons a sibling.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"histwalk/internal/engine"
+	"histwalk/internal/session"
+)
+
+// Sentinel errors of the manager API.
+var (
+	// ErrDraining is returned by Submit once Shutdown has begun.
+	ErrDraining = errors.New("service: manager is draining and accepts no new jobs")
+	// ErrQueueFull is returned by Submit when the admission queue is at
+	// capacity.
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrUnknownJob is returned for job IDs not in the store (never
+	// assigned, or evicted).
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrJobTerminal is returned by Cancel on an already-finished job.
+	ErrJobTerminal = errors.New("service: job already in a terminal state")
+	// ErrJobCancelled is the context cause attached when a running job
+	// is cancelled via Cancel.
+	ErrJobCancelled = errors.New("service: job cancelled")
+	// ErrShutdown is the context cause attached when a forced shutdown
+	// aborts running jobs.
+	ErrShutdown = errors.New("service: manager shut down")
+)
+
+// Options configures a Manager. The zero value selects the documented
+// defaults.
+type Options struct {
+	// MaxConcurrent bounds how many jobs run at once
+	// (0 = runtime.GOMAXPROCS(0)).
+	MaxConcurrent int
+	// QueueDepth bounds how many admitted jobs may wait for a worker
+	// (0 = 256). Submissions beyond it fail fast with ErrQueueFull.
+	QueueDepth int
+	// StoreLimit bounds the in-memory job store (0 = 1024). When
+	// exceeded, the oldest *terminal* jobs are evicted; live jobs are
+	// never dropped.
+	StoreLimit int
+	// ProgressTicks is the target number of progress events per chain
+	// (0 = 64): a chain emits when its budget spend crosses multiples
+	// of Budget/ProgressTicks. The event schedule depends only on the
+	// spec, never on scheduling.
+	ProgressTicks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.StoreLimit <= 0 {
+		o.StoreLimit = 1024
+	}
+	if o.ProgressTicks <= 0 {
+		o.ProgressTicks = 64
+	}
+	return o
+}
+
+// Metrics is the service counter snapshot served by GET /v1/metrics.
+type Metrics struct {
+	// Submitted counts admitted jobs since start.
+	Submitted int `json:"submitted"`
+	// Done, Failed and Cancelled count terminal outcomes.
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Evicted counts terminal jobs dropped by store eviction.
+	Evicted int `json:"evicted"`
+	// Queued and Running count live jobs at snapshot time.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	// Stored is the job-store size at snapshot time.
+	Stored int `json:"stored"`
+	// Events counts progress/state events emitted since start.
+	Events int `json:"events"`
+	// Workers is the configured job-level concurrency bound.
+	Workers int `json:"workers"`
+	// Draining reports whether Shutdown has begun.
+	Draining bool `json:"draining"`
+}
+
+// Manager is the sampling-job service: an admission queue, a bounded
+// worker pool on the trial-execution engine, and an in-memory job
+// store with eviction. All methods are safe for concurrent use.
+type Manager struct {
+	opts  Options
+	queue chan *job
+	done  chan struct{}
+
+	// poolCtx parents every job's run context; poolKill aborts all
+	// running jobs on forced shutdown.
+	poolCtx  context.Context
+	poolKill context.CancelCauseFunc
+
+	events atomic.Int64 // events emitted across all jobs
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []*job // submission order, for List and eviction
+	seq      int    // admission sequence, part of the job ID
+	draining bool
+	counts   struct{ done, failed, cancelled, evicted, submitted int }
+
+	// holdForTest, when non-nil, may return a channel for a job ID; the
+	// worker then parks that job — already in the running state —
+	// until the channel closes or the job's ctx is cancelled. Tests use
+	// it to pin jobs in chosen lifecycle states without depending on
+	// timing; production code never sets it.
+	holdForTest func(id string) <-chan struct{}
+}
+
+// NewManager starts a Manager: its worker pool — MaxConcurrent
+// queue-draining loops submitted to one engine.Engine — runs until
+// Shutdown.
+func NewManager(opts Options) *Manager {
+	opts = opts.withDefaults()
+	m := &Manager{
+		opts:  opts,
+		queue: make(chan *job, opts.QueueDepth),
+		done:  make(chan struct{}),
+		jobs:  make(map[string]*job),
+	}
+	m.poolCtx, m.poolKill = context.WithCancelCause(context.Background())
+	eng := engine.New(engine.Options{Workers: opts.MaxConcurrent})
+	go func() {
+		defer close(m.done)
+		// The pool context handed to Each stays un-cancelled: workers
+		// must keep draining the queue even during a forced shutdown
+		// (they mark the remaining jobs cancelled). Abort of running
+		// jobs goes through poolKill → each job's own context.
+		_ = eng.Each(context.Background(), opts.MaxConcurrent, func(_ context.Context, _ int) error {
+			for j := range m.queue {
+				m.runJob(j)
+			}
+			return nil
+		})
+	}()
+	return m
+}
+
+// jobID derives the deterministic identifier of the seq-th admitted
+// job: the admission index plus a short hash of the canonical wire
+// bytes. Two managers fed the same submission sequence assign the same
+// IDs, which makes service logs and tests reproducible.
+func jobID(seq int, canonical []byte) string {
+	h := fnv.New64a()
+	h.Write(canonical)
+	return fmt.Sprintf("j%05d-%08x", seq, uint32(h.Sum64()))
+}
+
+// Submit validates and admits a job, returning its queued status. The
+// spec is resolved immediately, so malformed submissions fail here,
+// not asynchronously.
+func (m *Manager) Submit(wire session.SpecJSON) (JobStatus, error) {
+	spec, err := wire.Spec()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	canonical, err := json.Marshal(wire)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: canonicalizing spec: %w", err)
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return JobStatus{}, ErrDraining
+	}
+	j := newJob(jobID(m.seq+1, canonical), wire, spec)
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		return JobStatus{}, ErrQueueFull
+	}
+	m.seq++
+	m.jobs[j.id] = j
+	m.order = append(m.order, j)
+	m.counts.submitted++
+	m.events.Add(1) // the seeded "queued" event
+	m.evictLocked()
+	m.mu.Unlock()
+	return j.status(), nil
+}
+
+// evictLocked drops the oldest terminal jobs while the store exceeds
+// StoreLimit. Live (queued/running) jobs are never evicted, so the
+// store may transiently exceed the limit under a burst of live jobs.
+func (m *Manager) evictLocked() {
+	for len(m.order) > m.opts.StoreLimit {
+		evicted := false
+		for i, j := range m.order {
+			if j.stateNow().Terminal() {
+				delete(m.jobs, j.id)
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				m.counts.evicted++
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// lookup returns the stored job.
+func (m *Manager) lookup(id string) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Get returns a job's status snapshot.
+func (m *Manager) Get(id string) (JobStatus, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return j.status(), nil
+}
+
+// List returns every stored job's status in admission order.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	jobs := append([]*job(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// WaitEvents blocks until the job has events past index `after`, the
+// job is terminal, or ctx is done; it returns the new events and
+// whether the job was terminal when they were snapshotted. See
+// job.waitEvents.
+func (m *Manager) WaitEvents(ctx context.Context, id string, after int) ([]Event, bool, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return nil, false, err
+	}
+	return j.waitEvents(ctx, after)
+}
+
+// Cancel stops a job: a queued job transitions to cancelled
+// immediately, a running job is aborted via its context cause.
+// Cancelling a terminal job returns ErrJobTerminal with the unchanged
+// status.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		j.mu.Unlock()
+		return j.status(), ErrJobTerminal
+	case j.state == StateQueued:
+		j.setStateLocked(StateCancelled, "cancelled while queued")
+		j.mu.Unlock()
+		m.events.Add(1)
+		m.count(StateCancelled)
+	default: // running
+		cancel := j.cancelRun
+		j.mu.Unlock()
+		cancel(ErrJobCancelled) // runJob finishes the transition
+	}
+	return j.status(), nil
+}
+
+// Metrics snapshots the service counters.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	met := Metrics{
+		Submitted: m.counts.submitted,
+		Done:      m.counts.done,
+		Failed:    m.counts.failed,
+		Cancelled: m.counts.cancelled,
+		Evicted:   m.counts.evicted,
+		Stored:    len(m.order),
+		Events:    int(m.events.Load()),
+		Workers:   m.opts.MaxConcurrent,
+		Draining:  m.draining,
+	}
+	for _, j := range m.order {
+		switch j.stateNow() {
+		case StateQueued:
+			met.Queued++
+		case StateRunning:
+			met.Running++
+		}
+	}
+	return met
+}
+
+// count records a terminal outcome.
+func (m *Manager) count(s State) {
+	m.mu.Lock()
+	switch s {
+	case StateDone:
+		m.counts.done++
+	case StateFailed:
+		m.counts.failed++
+	case StateCancelled:
+		m.counts.cancelled++
+	}
+	m.mu.Unlock()
+}
+
+// isDraining reports whether Shutdown has begun.
+func (m *Manager) isDraining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Shutdown drains the manager: intake closes (Submit fails with
+// ErrDraining), still-queued jobs transition to cancelled, running
+// jobs finish normally. If ctx expires first, running jobs are aborted
+// with cause ErrShutdown and the ctx cause is returned once the pool
+// has stopped. Shutdown is idempotent; concurrent calls all wait for
+// the drain.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	select {
+	case <-m.done:
+		return nil
+	case <-ctx.Done():
+		m.poolKill(ErrShutdown)
+		<-m.done
+		return context.Cause(ctx)
+	}
+}
+
+// finish applies a job's terminal transition and updates the counters.
+func (m *Manager) finish(j *job, s State, errMsg string, res *session.Result) {
+	j.mu.Lock()
+	j.result = res
+	j.setStateLocked(s, errMsg)
+	j.cancelRun = nil
+	j.mu.Unlock()
+	m.events.Add(1)
+	m.count(s)
+}
+
+// runJob executes one popped queue entry on the calling worker.
+func (m *Manager) runJob(j *job) {
+	if m.isDraining() {
+		// Graceful drain: jobs still queued when Shutdown began are
+		// cancelled, not run.
+		j.mu.Lock()
+		if j.state != StateQueued {
+			j.mu.Unlock()
+			return
+		}
+		j.setStateLocked(StateCancelled, "cancelled: manager drained before start")
+		j.mu.Unlock()
+		m.events.Add(1)
+		m.count(StateCancelled)
+		return
+	}
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancelCause(m.poolCtx)
+	j.cancelRun = cancel
+	j.setStateLocked(StateRunning, "")
+	j.mu.Unlock()
+	m.events.Add(1)
+	defer cancel(nil)
+
+	m.mu.Lock()
+	hold := m.holdForTest
+	m.mu.Unlock()
+	if hold != nil {
+		if ch := hold(j.id); ch != nil {
+			select {
+			case <-ch:
+			case <-ctx.Done():
+			}
+		}
+	}
+
+	res, err := m.drive(ctx, j)
+	switch {
+	case err == nil:
+		m.finish(j, StateDone, "", res)
+	case errors.Is(err, ErrJobCancelled):
+		m.finish(j, StateCancelled, ErrJobCancelled.Error(), nil)
+	case errors.Is(err, ErrShutdown):
+		m.finish(j, StateCancelled, ErrShutdown.Error(), nil)
+	default:
+		m.finish(j, StateFailed, err.Error(), nil)
+	}
+}
+
+// drive runs the job's session to completion on the calling goroutine,
+// emitting per-chain progress events whenever a chain's budget spend
+// crosses the next stride boundary. Driving incrementally (rather than
+// delegating to session.Run) is what lets the service observe every
+// transition and compute running estimates without perturbing the walk:
+// a Session's final Result is identical to Run's by construction. The
+// chains are deliberately interleaved on this one goroutine — mid-run
+// sess.Result() merges are then race-free, and the service's
+// parallelism axis is concurrent jobs (Options.MaxConcurrent), not
+// chains within a job; that is also why SpecJSON carries no Workers
+// field.
+func (m *Manager) drive(ctx context.Context, j *job) (*session.Result, error) {
+	sess, err := session.NewSession(j.spec)
+	if err != nil {
+		return nil, err
+	}
+	chains := j.spec.Chains
+	if chains == 0 {
+		chains = 1
+	}
+	stride := j.spec.Budget / m.opts.ProgressTicks
+	if stride < 1 {
+		stride = 1
+	}
+	next := make([]int, chains)
+	track := make([]ChainProgress, chains)
+	for i := range track {
+		next[i] = stride
+		track[i].Chain = i
+	}
+	for {
+		u, ok, err := sess.NextContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		cp := &track[u.Chain]
+		cp.Steps = u.Step
+		cp.Spent = u.Spent
+		if u.Sampled {
+			cp.Samples++
+		}
+		if u.Spent >= next[u.Chain] {
+			for next[u.Chain] <= u.Spent {
+				next[u.Chain] += stride
+			}
+			m.emitProgress(j, *cp, runningEstimates(sess))
+		}
+	}
+	// Final per-chain snapshots, in chain order, with the completed
+	// estimates attached to the last one.
+	ests := runningEstimates(sess)
+	for i := range track {
+		track[i].Done = true
+		var e []RunningEstimate
+		if i == len(track)-1 {
+			e = ests
+		}
+		m.emitProgress(j, track[i], e)
+	}
+	return sess.Result()
+}
+
+// runningEstimates merges the session's current samples into pooled
+// running estimates; nil until every chain has retained a sample.
+func runningEstimates(sess *session.Session) []RunningEstimate {
+	res, err := sess.Result()
+	if err != nil {
+		return nil
+	}
+	out := make([]RunningEstimate, len(res.Estimates))
+	for i, e := range res.Estimates {
+		r := e.GelmanRubin
+		if math.IsInf(r, 0) || math.IsNaN(r) {
+			r = 0 // JSON has no Inf/NaN; absent means "not yet computable"
+		}
+		out[i] = RunningEstimate{Name: e.Name, Point: e.Point, GelmanRubin: r}
+	}
+	return out
+}
+
+// emitProgress appends one progress event and refreshes the job's
+// status snapshot for that chain.
+func (m *Manager) emitProgress(j *job, cp ChainProgress, ests []RunningEstimate) {
+	j.mu.Lock()
+	for len(j.chains) <= cp.Chain {
+		j.chains = append(j.chains, ChainProgress{Chain: len(j.chains)})
+	}
+	j.chains[cp.Chain] = cp
+	c := cp
+	j.appendLocked(Event{Type: "progress", Chain: &c, Estimates: ests})
+	j.mu.Unlock()
+	m.events.Add(1)
+}

@@ -1,0 +1,79 @@
+package session
+
+// Context-aware drivers for a Session. Next (session.go) is the
+// minimal single-goroutine stepper; the sampling service and the CLIs
+// need two more shapes: a stepper that honors cancellation between
+// transitions (NextContext) and a run-to-completion driver that fans
+// the chains over the worker-pool engine while streaming serialized
+// Updates (Drive). Both leave the Session's accumulated samples intact
+// on cancellation, so Result can still merge a partial outcome — the
+// mechanism behind "Ctrl-C prints the partial estimate" in cmd/sampler
+// and job cancellation in the service.
+
+import (
+	"context"
+	"sync"
+
+	"histwalk/internal/engine"
+)
+
+// NextContext is Next with cancellation: it fails with the ctx's
+// cancellation cause before performing a transition once ctx is done.
+// The Session remains valid after a cancellation — stepping can resume
+// with a live ctx, and Result can merge what accumulated so far.
+func (s *Session) NextContext(ctx context.Context) (u Update, ok bool, err error) {
+	if ctx != nil && ctx.Err() != nil {
+		return Update{}, false, context.Cause(ctx)
+	}
+	return s.Next()
+}
+
+// Drive runs every chain to completion on the worker-pool engine
+// (Spec.Workers concurrent chains) and returns the final Result, which
+// is bit-identical to Run's for the same Spec. onUpdate, when non-nil,
+// observes every transition; calls are serialized (never concurrent),
+// each chain's updates arrive in order with monotonically non-decreasing
+// Spent, but the interleaving across chains depends on scheduling —
+// only the interleaving, never any chain's content. Spec.Progress, when
+// set, additionally receives chain-completion snapshots exactly as in
+// Run.
+//
+// On cancellation Drive returns the ctx cause after all chains have
+// stopped (no goroutine keeps stepping), and the Session still holds
+// every sample retained up to that point: call Result for the partial
+// outcome, or Drive again with a live ctx to finish the run. Drive must
+// not run concurrently with Next or with another Drive on the same
+// Session.
+func (s *Session) Drive(ctx context.Context, onUpdate func(Update)) (*Result, error) {
+	sp := s.sp
+	var mu sync.Mutex // serializes onUpdate across chains
+	var hook func(done, total int)
+	if sp.Progress != nil {
+		hook = func(done, total int) {
+			sp.Progress(Progress{Chains: total, ChainsDone: done})
+		}
+	}
+	eng := engine.New(engine.Options{Workers: sp.Workers, Progress: hook})
+	err := eng.Each(ctx, len(s.chains), func(ctx context.Context, c int) error {
+		cr := s.chains[c]
+		for !cr.done {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			u, stepped, err := cr.advance(sp)
+			if err != nil {
+				return err
+			}
+			if stepped && onUpdate != nil {
+				mu.Lock()
+				onUpdate(u)
+				mu.Unlock()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.Result()
+}

@@ -21,8 +21,10 @@ package session
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"histwalk/internal/access"
@@ -219,10 +221,13 @@ type Spec struct {
 // Progress is a snapshot of a run in flight.
 type Progress struct {
 	// Chains and ChainsDone count total and finished chains.
-	Chains, ChainsDone int
+	Chains     int `json:"chains"`
+	ChainsDone int `json:"chains_done"`
 	// Steps, Spent and Samples are totals across chains (only
 	// populated by Session, which observes every transition).
-	Steps, Spent, Samples int
+	Steps   int `json:"steps"`
+	Spent   int `json:"spent"`
+	Samples int `json:"samples"`
 }
 
 // Validate checks the spec without running it.
@@ -340,56 +345,74 @@ func (s *Spec) design() estimate.Design {
 // accumulated, per-chain estimates and the Gelman–Rubin diagnostic.
 type Estimate struct {
 	// Name is the estimator's label.
-	Name string
+	Name string `json:"name"`
 	// Design is the correction the estimate was computed under.
-	Design estimate.Design
+	Design estimate.Design `json:"design"`
 	// Point is the pooled estimate over all chains' retained samples.
-	Point float64
+	Point float64 `json:"point"`
 	// Interval is the Spec.Confidence interval around Point, pooled
 	// from the chains' batch-means components; valid iff HasInterval.
-	Interval estimate.Interval
+	Interval estimate.Interval `json:"interval"`
 	// HasInterval reports whether enough complete batches accumulated
 	// to build Interval.
-	HasInterval bool
+	HasInterval bool `json:"has_interval"`
 	// PerChain holds each chain's own estimate.
-	PerChain []float64
+	PerChain []float64 `json:"per_chain"`
 	// GelmanRubin is R̂ across the chains' retained sample series
 	// (0 when not computable, e.g. a single chain).
-	GelmanRubin float64
+	GelmanRubin float64 `json:"gelman_rubin,omitempty"`
 	// Samples is the number of retained samples pooled into Point.
-	Samples int
+	Samples int `json:"samples"`
+}
+
+// MarshalJSON encodes the estimate, omitting a non-finite Gelman–Rubin
+// value: JSON has no Inf/NaN, and R̂ is +Inf exactly when chains
+// disagree with zero within-chain variance (e.g. walks stuck on
+// constant-degree cliques early in a run). Over the wire "absent"
+// already means "diagnostic not computable"; the divergence itself
+// stays visible in the per-chain estimates.
+func (e Estimate) MarshalJSON() ([]byte, error) {
+	type alias Estimate // drops the method, avoiding recursion
+	a := alias(e)
+	if math.IsInf(a.GelmanRubin, 0) || math.IsNaN(a.GelmanRubin) {
+		a.GelmanRubin = 0
+	}
+	return json.Marshal(a)
 }
 
 // ChainResult is one chain's accounting.
 type ChainResult struct {
+	// Chain is the chain's index within the spec (meaningful when a
+	// partial merge reports a subset of the chains).
+	Chain int `json:"chain"`
 	// Seed is the chain's derived RNG seed.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Start is the node the chain's walk began at.
-	Start graph.Node
+	Start graph.Node `json:"start"`
 	// Steps is the number of transitions performed.
-	Steps int
+	Steps int `json:"steps"`
 	// Queries is the budget spend (unique queries under CostUnique).
-	Queries int
+	Queries int `json:"queries"`
 	// Requests counts all requests including cache hits (0 when the
 	// client does not report it).
-	Requests int
+	Requests int `json:"requests"`
 	// Samples is the number of retained samples after burn-in and
 	// thinning.
-	Samples int
+	Samples int `json:"samples"`
 }
 
 // Result is the outcome of a sampling run.
 type Result struct {
 	// Estimates holds one entry per EstimatorSpec, in spec order.
-	Estimates []Estimate
+	Estimates []Estimate `json:"estimates"`
 	// Chains holds per-chain accounting, in chain order.
-	Chains []ChainResult
+	Chains []ChainResult `json:"chains"`
 	// TotalSteps sums the transitions across chains.
-	TotalSteps int
+	TotalSteps int `json:"total_steps"`
 	// TotalQueries sums the chain-local budget spend across chains. It
 	// is identical under CacheIsolated and CacheShared: budgets always
 	// charge the chain that issued the query.
-	TotalQueries int
+	TotalQueries int `json:"total_queries"`
 	// GlobalQueries is the network-level unique query count — what the
 	// whole run actually paid the OSN for. Under CacheIsolated every
 	// chain pays for its own fetches, so this is the sum of the chains'
@@ -399,18 +422,18 @@ type Result struct {
 	// (strictly smaller than TotalQueries whenever chains overlap);
 	// under CostSteps, TotalQueries counts transitions instead and is
 	// not comparable to this field.
-	GlobalQueries int
+	GlobalQueries int `json:"global_queries"`
 	// GlobalRequests counts all requests across chains including cache
 	// hits (0 when the client reports no request totals).
-	GlobalRequests int
+	GlobalRequests int `json:"global_requests"`
 	// CrossChainHits counts chain-locally-new queries that were served
 	// from a sibling chain's earlier fetch (always 0 under
 	// CacheIsolated).
-	CrossChainHits int
+	CrossChainHits int `json:"cross_chain_hits"`
 	// CrossChainHitRate is CrossChainHits as a fraction of all
 	// chain-locally-new queries: the share of the would-be network cost
 	// that the shared cache saved. 0 under CacheIsolated.
-	CrossChainHitRate float64
+	CrossChainHitRate float64 `json:"cross_chain_hit_rate"`
 }
 
 // Lookup returns the estimate with the given label.
@@ -456,16 +479,16 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 // Update reports one Session transition.
 type Update struct {
 	// Chain is the chain that moved.
-	Chain int
+	Chain int `json:"chain"`
 	// Node is the node the chain arrived at.
-	Node graph.Node
+	Node graph.Node `json:"node"`
 	// Step is the chain's transition count after this move.
-	Step int
+	Step int `json:"step"`
 	// Spent is the chain's budget spend after this move.
-	Spent int
+	Spent int `json:"spent"`
 	// Sampled reports whether the sample was retained (past burn-in
 	// and on the thinning grid).
-	Sampled bool
+	Sampled bool `json:"sampled"`
 }
 
 // Session advances a Spec's chains incrementally from a single
@@ -565,6 +588,27 @@ func (s *Session) snapshot() Progress {
 // Spec.
 func (s *Session) Result() (*Result, error) {
 	return merge(s.sp, s.chains)
+}
+
+// PartialResult merges only the chains that have retained at least one
+// sample — the right view after an interruption, when some chains may
+// never have been dispatched at all. The Result covers exactly the
+// sampled chains: estimates, per-chain entries and diagnostics span
+// that subset (each ChainResult.Chain carries the chain's original
+// index), while under CacheShared the global network counters remain
+// the whole run's ledger. It errors only when no chain has a sample;
+// once every chain has sampled it is identical to Result.
+func (s *Session) PartialResult() (*Result, error) {
+	var sampled []*chainRun
+	for _, cr := range s.chains {
+		if len(cr.degrees) > 0 {
+			sampled = append(sampled, cr)
+		}
+	}
+	if len(sampled) == 0 {
+		return nil, errors.New("session: no chain has retained a sample yet")
+	}
+	return merge(s.sp, sampled)
 }
 
 // requestReporter is implemented by clients that count all requests
@@ -753,11 +797,12 @@ func (cr *chainRun) measure(sp *Spec, v graph.Node) (int, []float64, error) {
 }
 
 // runToCompletion drives the chain until it finishes or ctx is
-// canceled.
+// canceled; cancellation reports the ctx cause, like Drive and
+// NextContext.
 func (cr *chainRun) runToCompletion(ctx context.Context, sp *Spec) error {
 	for !cr.done {
-		if err := ctx.Err(); err != nil {
-			return err
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
 		}
 		if _, _, err := cr.advance(sp); err != nil {
 			return err
@@ -773,6 +818,7 @@ func merge(sp *Spec, chains []*chainRun) (*Result, error) {
 	res := &Result{}
 	for _, cr := range chains {
 		c := ChainResult{
+			Chain:   cr.idx,
 			Seed:    cr.seed,
 			Start:   cr.start,
 			Steps:   cr.steps,

@@ -1,0 +1,36 @@
+package histwalk
+
+// Re-exports of the named walker/estimator registry
+// (internal/registry, internal/session): the single source of truth
+// for choosing algorithms and aggregates by string — cmd/sampler's
+// -algo flag, the service wire format (SpecJSON) and downstream tools
+// all resolve through it, so every surface accepts exactly the same
+// names.
+
+import (
+	"histwalk/internal/registry"
+	"histwalk/internal/session"
+)
+
+// WalkerOptions carries the parameters a named walker may need beyond
+// its name (currently the GNRW stratum count).
+type WalkerOptions = registry.WalkerOptions
+
+// WalkerByName resolves a registered algorithm name ("srw", "mhrw",
+// "nbsrw", "cnrw", "cnrw-node", "nbcnrw", "gnrw-degree", "gnrw-md5",
+// "gnrw-reviews") to its walker factory.
+func WalkerByName(name string, opts WalkerOptions) (Factory, error) {
+	return registry.WalkerByName(name, opts)
+}
+
+// WalkerNames lists the registered algorithm names, sorted.
+var WalkerNames = registry.WalkerNames
+
+// EstimatorByName resolves a wire estimator kind ("mean",
+// "avg-degree", "proportion", plus the spellings "avg" and
+// "avgdegree") to its Aggregate.
+var EstimatorByName = session.EstimatorByName
+
+// EstimatorNames lists the estimator kinds EstimatorByName accepts,
+// sorted.
+var EstimatorNames = session.EstimatorNames

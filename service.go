@@ -1,0 +1,79 @@
+package histwalk
+
+// Re-exports of the sampling-job service (internal/service): a Manager
+// that executes serialized job specs (SpecJSON) with bounded
+// concurrency on the trial-execution engine, tracks the lifecycle
+// queued → running → done/failed/cancelled, streams per-chain progress
+// events and drains gracefully on shutdown. NewServiceHandler exposes a
+// Manager as the HTTP JSON API served by cmd/histwalkd. A job's Result
+// is bit-identical to Run(ctx, spec) of the same resolved spec,
+// regardless of how many other jobs are in flight.
+
+import (
+	"net/http"
+
+	"histwalk/internal/service"
+	"histwalk/internal/session"
+)
+
+// Sampling-job service types.
+type (
+	// Manager is the sampling-job service: admission queue, bounded
+	// worker pool, in-memory job store with eviction.
+	Manager = service.Manager
+	// ManagerOptions configures a Manager (concurrency bound, queue
+	// depth, store limit, progress-event granularity).
+	ManagerOptions = service.Options
+	// JobState is a job's lifecycle position.
+	JobState = service.State
+	// JobStatus is a point-in-time snapshot of a job.
+	JobStatus = service.JobStatus
+	// JobEvent is one entry of a job's progress stream.
+	JobEvent = service.Event
+	// ChainProgress is one chain's position within a running job.
+	ChainProgress = service.ChainProgress
+	// RunningEstimate is a mid-run view of one aggregate.
+	RunningEstimate = service.RunningEstimate
+	// ServiceMetrics is the service counter snapshot.
+	ServiceMetrics = service.Metrics
+	// SpecJSON is the serializable (wire) description of a sampling
+	// run: datasets, walkers, estimators and policies chosen by name.
+	SpecJSON = session.SpecJSON
+	// EstimatorJSON is the serializable form of an EstimatorSpec.
+	EstimatorJSON = session.EstimatorJSON
+)
+
+// Job lifecycle states.
+const (
+	// JobQueued marks a job admitted but not yet picked up.
+	JobQueued = service.StateQueued
+	// JobRunning marks a job whose chains are being driven.
+	JobRunning = service.StateRunning
+	// JobDone marks successful completion.
+	JobDone = service.StateDone
+	// JobFailed marks a job whose run errored.
+	JobFailed = service.StateFailed
+	// JobCancelled marks a job stopped by cancel, drain or shutdown.
+	JobCancelled = service.StateCancelled
+)
+
+// Service sentinel errors.
+var (
+	// ErrDraining is returned by Submit once Shutdown has begun.
+	ErrDraining = service.ErrDraining
+	// ErrQueueFull is returned by Submit at queue capacity.
+	ErrQueueFull = service.ErrQueueFull
+	// ErrUnknownJob is returned for job IDs not in the store.
+	ErrUnknownJob = service.ErrUnknownJob
+	// ErrJobTerminal is returned by Cancel on a finished job.
+	ErrJobTerminal = service.ErrJobTerminal
+)
+
+// NewManager starts a sampling-job Manager; stop it with
+// Manager.Shutdown.
+func NewManager(opts ManagerOptions) *Manager { return service.NewManager(opts) }
+
+// NewServiceHandler returns the HTTP JSON API over m (the API
+// cmd/histwalkd serves): POST/GET/DELETE /v1/jobs, SSE progress
+// streams under /v1/jobs/{id}/events, and /v1/metrics.
+func NewServiceHandler(m *Manager) http.Handler { return service.NewHandler(m) }
