@@ -1,0 +1,163 @@
+// Command benchgate enforces the walk hot path's allocation gate and
+// reports performance deltas against the recorded baseline.
+//
+// It reads `go test -bench -benchmem` output on stdin, extracts the
+// BenchmarkWalkStep/* results, and
+//
+//   - FAILS (exit 1) if any step benchmark exceeds the baseline's
+//     max_allocs_per_step gate — the zero-allocation hot path is a
+//     tested contract, not an aspiration;
+//   - prints each walker's ns/op and steps/sec next to the baseline
+//     recorded in BENCH_core.json, with the delta, so CI logs show at a
+//     glance whether the step path got slower (ns/op itself is not
+//     gated: it is host-dependent).
+//
+// Usage:
+//
+//	go test -run xxx -bench WalkStep -benchmem -benchtime 1000000x . | go run ./cmd/benchgate -baseline BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the machine-readable part of BENCH_core.json.
+type baselineFile struct {
+	Gate struct {
+		MaxAllocsPerStep float64 `json:"max_allocs_per_step"`
+	} `json:"gate"`
+	Benchmarks map[string]struct {
+		NsPerOp       float64 `json:"ns_per_op"`
+		AllocsPerOp   float64 `json:"allocs_per_op"`
+		BeforeNsPerOp float64 `json:"before_ns_per_op,omitempty"`
+	} `json:"benchmarks"`
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	name    string // normalized, e.g. "BenchmarkWalkStep/CNRW"
+	nsPerOp float64
+	allocs  float64
+	hasMem  bool
+}
+
+// benchLine matches `BenchmarkX/Y-8  1000  123 ns/op  4 B/op  0 allocs/op`
+// (the -P GOMAXPROCS suffix and the memory columns are optional).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+
+// parseBench extracts benchmark results from `go test -bench` output.
+func parseBench(r io.Reader) ([]result, error) {
+	var out []result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		// Strip the trailing -P GOMAXPROCS suffix, if present.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		res := result{name: name, nsPerOp: ns}
+		if m[4] != "" {
+			res.allocs, err = strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad allocs/op in %q: %v", sc.Text(), err)
+			}
+			res.hasMem = true
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// stepsPerSec converts a per-step latency to throughput.
+func stepsPerSec(nsPerOp float64) float64 {
+	if nsPerOp <= 0 {
+		return 0
+	}
+	return 1e9 / nsPerOp
+}
+
+// run is the testable body of main.
+func run(in io.Reader, out io.Writer, baselinePath, prefix string) (failures int, err error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return 0, fmt.Errorf("benchgate: reading baseline: %w", err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return 0, fmt.Errorf("benchgate: parsing baseline %s: %w", baselinePath, err)
+	}
+	gate := base.Gate.MaxAllocsPerStep
+	if gate == 0 {
+		gate = 1
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		return 0, err
+	}
+	matched := 0
+	for _, r := range results {
+		if !strings.HasPrefix(r.name, prefix) {
+			continue
+		}
+		matched++
+		line := fmt.Sprintf("%-38s %10.1f ns/op %14.0f steps/sec", r.name, r.nsPerOp, stepsPerSec(r.nsPerOp))
+		if b, ok := base.Benchmarks[r.name]; ok && b.NsPerOp > 0 {
+			delta := 100 * (r.nsPerOp - b.NsPerOp) / b.NsPerOp
+			line += fmt.Sprintf("   baseline %8.1f ns/op (%+6.1f%%)", b.NsPerOp, delta)
+			if b.BeforeNsPerOp > 0 {
+				line += fmt.Sprintf("   pre-rewrite %8.1f ns/op (%.2fx)", b.BeforeNsPerOp, b.BeforeNsPerOp/r.nsPerOp)
+			}
+		} else {
+			line += "   (no baseline entry)"
+		}
+		if !r.hasMem {
+			failures++
+			line += "   MISSING allocs/op (run with -benchmem)"
+		} else if r.allocs > gate {
+			failures++
+			line += fmt.Sprintf("   ALLOC GATE FAILED: %.1f allocs/op > %.1f", r.allocs, gate)
+		} else {
+			line += fmt.Sprintf("   allocs/op %.0f <= %.0f ok", r.allocs, gate)
+		}
+		fmt.Fprintln(out, line)
+	}
+	if matched == 0 {
+		return 1, fmt.Errorf("benchgate: no %s* results on stdin (did the bench run?)", prefix)
+	}
+	return failures, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_core.json", "baseline JSON with the allocation gate and reference numbers")
+	prefix := flag.String("prefix", "BenchmarkWalkStep/", "benchmark name prefix to gate")
+	flag.Parse()
+	failures, err := run(os.Stdin, os.Stdout, *baseline, *prefix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d step benchmark(s) failed the allocation gate\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: allocation gate passed")
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBaseline = `{
+  "gate": {"max_allocs_per_step": 1},
+  "benchmarks": {
+    "BenchmarkWalkStep/SRW":  {"ns_per_op": 26.1, "allocs_per_op": 0, "before_ns_per_op": 18.0},
+    "BenchmarkWalkStep/CNRW": {"ns_per_op": 240.0, "allocs_per_op": 0, "before_ns_per_op": 695.1}
+  }
+}`
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "BENCH_core.json")
+	if err := os.WriteFile(p, []byte(sampleBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGatePassesCleanRun(t *testing.T) {
+	in := strings.NewReader(`
+goos: linux
+BenchmarkWalkStep/SRW-8      	 1000000	        26.29 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWalkStep/CNRW       	 1000000	       287.9 ns/op	      18 B/op	       0 allocs/op
+BenchmarkOther/ignored       	 1000000	       100.0 ns/op	     999 B/op	      99 allocs/op
+PASS
+`)
+	var out strings.Builder
+	failures, err := run(in, &out, writeBaseline(t), "BenchmarkWalkStep/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d, want 0\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "pre-rewrite") {
+		t.Fatalf("delta against pre-rewrite baseline not printed:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "ignored") {
+		t.Fatal("non-prefixed benchmark leaked into the gate")
+	}
+}
+
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	in := strings.NewReader(`BenchmarkWalkStep/CNRW-4 	 1000000	       300.0 ns/op	     120 B/op	       3 allocs/op`)
+	var out strings.Builder
+	failures, err := run(in, &out, writeBaseline(t), "BenchmarkWalkStep/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "ALLOC GATE FAILED") {
+		t.Fatalf("failure not reported:\n%s", out.String())
+	}
+}
+
+func TestGateFailsWithoutBenchmem(t *testing.T) {
+	in := strings.NewReader(`BenchmarkWalkStep/SRW 	 1000000	       26.3 ns/op`)
+	var out strings.Builder
+	failures, err := run(in, &out, writeBaseline(t), "BenchmarkWalkStep/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 (missing -benchmem must not pass silently)", failures)
+	}
+}
+
+func TestGateErrorsOnEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if _, err := run(strings.NewReader("PASS\n"), &out, writeBaseline(t), "BenchmarkWalkStep/"); err == nil {
+		t.Fatal("want error when no step benchmarks are present")
+	}
+}

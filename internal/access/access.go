@@ -36,11 +36,26 @@ var ErrNotInSummary = errors.New("access: node not present in a cached neighbor-
 
 // Client is the neighborhood-query interface available to a third party
 // (§2.1). Implementations must treat repeated queries for the same node
-// as cache hits that do not increase QueryCost.
+// as cache hits that do not increase QueryCost, and must return a
+// node's neighbor list in a stable order: repeated queries for the same
+// node yield element-wise identical lists. The walkers' deterministic
+// replay (and their per-edge history state, which indexes neighbor
+// lists by position) depends on that stability.
 type Client interface {
 	// Neighbors returns the neighbor list of u. The slice must not be
 	// modified by the caller.
 	Neighbors(u graph.Node) ([]graph.Node, error)
+	// NeighborsAppend appends u's neighbor list to dst and returns the
+	// extended slice. It is the allocation-free form of Neighbors for
+	// hot paths: the caller owns dst and the returned slice aliases
+	// dst's backing array (grown if needed), NEVER the client's
+	// internal storage — so callers may retain and modify it freely,
+	// and transports that cannot hand out stable internal slices can
+	// still serve it without allocating. Cost accounting is identical
+	// to Neighbors (one unique query on first touch, a free cache hit
+	// after). On error the returned slice is dst with nothing appended,
+	// so callers keep their buffer.
+	NeighborsAppend(dst []graph.Node, u graph.Node) ([]graph.Node, error)
 	// Degree returns k_u = |N(u)|. It costs the same query as Neighbors
 	// (the full neighbor list comes back in one response).
 	Degree(u graph.Node) (int, error)
@@ -122,6 +137,15 @@ func (s *Simulator) Neighbors(u graph.Node) ([]graph.Node, error) {
 		return nil, err
 	}
 	return s.g.Neighbors(u), nil
+}
+
+// NeighborsAppend implements Client: u's neighbor list is copied onto
+// dst straight from the graph's CSR row, no intermediate allocation.
+func (s *Simulator) NeighborsAppend(dst []graph.Node, u graph.Node) ([]graph.Node, error) {
+	if err := s.touch(u); err != nil {
+		return dst, err
+	}
+	return append(dst, s.g.Neighbors(u)...), nil
 }
 
 // Degree implements Client.
@@ -247,6 +271,15 @@ func (b *Budgeted) Neighbors(u graph.Node) ([]graph.Node, error) {
 		return nil, err
 	}
 	return b.inner.Neighbors(u)
+}
+
+// NeighborsAppend implements Client, under the same budget rule as
+// Neighbors; on refusal dst is returned unchanged.
+func (b *Budgeted) NeighborsAppend(dst []graph.Node, u graph.Node) ([]graph.Node, error) {
+	if err := b.guard(u); err != nil {
+		return dst, err
+	}
+	return b.inner.NeighborsAppend(dst, u)
 }
 
 // Degree implements Client.

@@ -77,6 +77,16 @@ func (r *Recorder) Neighbors(u graph.Node) ([]graph.Node, error) {
 	return ns, err
 }
 
+// NeighborsAppend implements Client. It is recorded as KindNeighbors:
+// the wire request is the same neighborhood fetch, only the caller's
+// buffer discipline differs.
+func (r *Recorder) NeighborsAppend(dst []graph.Node, u graph.Node) ([]graph.Node, error) {
+	before := r.inner.QueryCost()
+	out, err := r.inner.NeighborsAppend(dst, u)
+	r.log = append(r.log, QueryRecord{Kind: KindNeighbors, Node: u, CostBefore: before, CostAfter: r.inner.QueryCost()})
+	return out, err
+}
+
 // Degree implements Client.
 func (r *Recorder) Degree(u graph.Node) (int, error) {
 	before := r.inner.QueryCost()

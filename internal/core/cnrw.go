@@ -7,50 +7,60 @@ import (
 	"histwalk/internal/graph"
 )
 
-// circulation tracks sampling-without-replacement over one neighbor list:
-// the set b(u,v) of Algorithm 1. The invariant maintained by pick is
-// 0 <= len(used) < k, i.e. the set is always a proper subset of N(v); it
-// is cleared the moment the last neighbor is consumed, starting a fresh
+// circulation tracks sampling-without-replacement over one neighbor
+// list: the set b(u,v) of Algorithm 1. It is stored allocation-free as
+// two reused buffers instead of the historical map: rest holds the
+// not-yet-chosen members of the current cycle in neighbor-list order,
+// done holds the members already chosen (|done| = |b(u,v)|). The
+// invariant maintained by pick is 0 <= len(done) < k; done is cleared
+// the moment the last neighbor is consumed, starting a fresh
 // circulation.
+//
+// pick draws one uniform index into rest and removes the element with
+// an order-preserving shift. That is deliberately NOT a swap-with-last
+// Fisher–Yates removal: a swap would keep the distribution but permute
+// which concrete element each draw selects, breaking bit-identity with
+// the historical map-based scan (which took the idx-th unused element
+// in neighbor-list order — exactly what the order-preserving buffer
+// yields). Same draws, same elements, zero allocations at steady state.
 type circulation struct {
-	used map[graph.Node]struct{}
+	rest []graph.Node // not yet chosen this cycle, in neighbor-list order
+	done []graph.Node // chosen this cycle, in pick order
 }
 
-// pick draws uniformly at random from ns minus the used set, records the
-// draw, and resets the set when the circulation completes. ns must be
-// non-empty.
+// pick draws uniformly at random from ns minus the already-chosen set,
+// records the draw, and resets when the circulation completes. ns must
+// be non-empty and element-wise stable across the calls of one cycle.
 func (c *circulation) pick(rng *rand.Rand, ns []graph.Node) graph.Node {
-	remaining := len(ns) - len(c.used)
-	// Defensive: if external state made used cover ns (cannot happen via
-	// pick), restart the circulation rather than spin.
-	if remaining <= 0 {
-		c.used = nil
-		remaining = len(ns)
+	if len(c.rest) == 0 || len(c.rest)+len(c.done) != len(ns) {
+		// Fresh cycle — or a defensive restart if external state made
+		// the buffers inconsistent with ns (cannot happen via pick),
+		// mirroring the historical restart-rather-than-spin behavior.
+		c.rest = append(c.rest[:0], ns...)
+		c.done = c.done[:0]
 	}
-	idx := rng.Intn(remaining)
-	var chosen graph.Node = -1
-	for _, w := range ns {
-		if _, skip := c.used[w]; skip {
-			continue
-		}
-		if idx == 0 {
-			chosen = w
-			break
-		}
-		idx--
-	}
-	if c.used == nil {
-		c.used = make(map[graph.Node]struct{}, len(ns))
-	}
-	c.used[chosen] = struct{}{}
-	if len(c.used) == len(ns) {
-		c.used = nil // full circulation completed; reset b(u,v) to ∅
+	idx := rng.Intn(len(c.rest))
+	chosen := c.rest[idx]
+	c.done = append(c.done, chosen)
+	c.rest = append(c.rest[:idx], c.rest[idx+1:]...)
+	if len(c.rest) == 0 {
+		c.done = c.done[:0] // full circulation completed; reset b(u,v) to ∅
 	}
 	return chosen
 }
 
 // usedCount returns |b(u,v)| (0 after a reset).
-func (c *circulation) usedCount() int { return len(c.used) }
+func (c *circulation) usedCount() int { return len(c.done) }
+
+// contains reports whether x is in b(u,v).
+func (c *circulation) contains(x graph.Node) bool {
+	for _, w := range c.done {
+		if w == x {
+			return true
+		}
+	}
+	return false
+}
 
 // CNRW is the Circulated Neighbors Random Walk (Algorithm 1): a
 // history-aware, higher-order Markov chain. Given the previous
@@ -70,6 +80,7 @@ type CNRW struct {
 	cur     graph.Node
 	steps   int
 	history map[edgeKey]*circulation
+	nbuf    []graph.Node
 }
 
 // NewCNRW returns a circulated-neighbors walk starting at start.
@@ -105,8 +116,7 @@ func (w *CNRW) CirculationState(u, v, x graph.Node) (fill int, contains bool) {
 	if c == nil {
 		return 0, false
 	}
-	_, contains = c.used[x]
-	return c.usedCount(), contains
+	return c.usedCount(), c.contains(x)
 }
 
 // historyFor returns the circulation bound to the directed edge
@@ -123,10 +133,11 @@ func (w *CNRW) historyFor(u, v graph.Node) *circulation {
 
 // Step implements Walker.
 func (w *CNRW) Step() (graph.Node, error) {
-	ns, err := w.client.Neighbors(w.cur)
+	ns, err := w.client.NeighborsAppend(w.nbuf[:0], w.cur)
 	if err != nil {
 		return w.cur, err
 	}
+	w.nbuf = ns
 	if len(ns) == 0 {
 		return w.cur, errDeadEnd(w.cur)
 	}
@@ -161,6 +172,7 @@ type CNRWNode struct {
 	cur     graph.Node
 	steps   int
 	history map[graph.Node]*circulation
+	nbuf    []graph.Node
 }
 
 // NewCNRWNode returns a node-keyed circulated walk starting at start.
@@ -184,10 +196,11 @@ func (w *CNRWNode) Steps() int { return w.steps }
 
 // Step implements Walker.
 func (w *CNRWNode) Step() (graph.Node, error) {
-	ns, err := w.client.Neighbors(w.cur)
+	ns, err := w.client.NeighborsAppend(w.nbuf[:0], w.cur)
 	if err != nil {
 		return w.cur, err
 	}
+	w.nbuf = ns
 	if len(ns) == 0 {
 		return w.cur, errDeadEnd(w.cur)
 	}
@@ -221,7 +234,8 @@ type NBCNRW struct {
 	cur     graph.Node
 	steps   int
 	history map[edgeKey]*circulation
-	scratch []graph.Node
+	nbuf    []graph.Node
+	scratch []graph.Node // candidate set N(v)\{prev}, reused
 }
 
 // NewNBCNRW returns a non-backtracking circulated walk starting at
@@ -247,10 +261,11 @@ func (w *NBCNRW) Steps() int { return w.steps }
 
 // Step implements Walker.
 func (w *NBCNRW) Step() (graph.Node, error) {
-	ns, err := w.client.Neighbors(w.cur)
+	ns, err := w.client.NeighborsAppend(w.nbuf[:0], w.cur)
 	if err != nil {
 		return w.cur, err
 	}
+	w.nbuf = ns
 	if len(ns) == 0 {
 		return w.cur, errDeadEnd(w.cur)
 	}

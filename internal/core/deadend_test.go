@@ -1,0 +1,94 @@
+package core
+
+// Dead-end audit (degree-0 nodes): every walker must surface ErrDeadEnd
+// from a node with no neighbors — never an index-out-of-range panic from
+// uniformPick, the MHRW proposal path, the NB-SRW skip indexing, the
+// GNRW stratified scan or the frontier bootstrap.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"histwalk/internal/access"
+	"histwalk/internal/graph"
+)
+
+// isolatedNodeGraph returns a graph whose node 0 has degree 0 while
+// nodes 1..5 form a connected clique-plus-path.
+func isolatedNodeGraph(t *testing.T) *graph.Graph {
+	b := graph.NewBuilder(6)
+	for u := graph.Node(1); u <= 4; u++ {
+		for v := u + 1; v <= 5; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	if g.Degree(0) != 0 {
+		t.Fatal("node 0 should be isolated")
+	}
+	return attachReviews(t, g)
+}
+
+// TestDeadEndSurfacedNotPanic starts every registry walker, plus the
+// frontier samplers, on the isolated node and asserts each Step
+// reports ErrDeadEnd (repeatedly — the walk must stay put, not corrupt
+// state) without panicking.
+func TestDeadEndSurfacedNotPanic(t *testing.T) {
+	g := isolatedNodeGraph(t)
+	factories := make([]struct {
+		name    string
+		factory Factory
+	}, 0, 11)
+	factories = append(factories, parityWalkers()...)
+	factories = append(factories,
+		struct {
+			name    string
+			factory Factory
+		}{"frontier", FrontierFactory(3)},
+		struct {
+			name    string
+			factory Factory
+		}{"frontier-cnrw", FrontierCNRWFactory(3)},
+	)
+	for _, tc := range factories {
+		t.Run(tc.name, func(t *testing.T) {
+			sim := access.NewSimulator(g)
+			rng := rand.New(rand.NewSource(5))
+			w := tc.factory.New(sim, 0, rng)
+			for s := 0; s < 3; s++ {
+				v, err := w.Step()
+				if err == nil {
+					t.Fatalf("step %d: walker escaped an isolated node to %d", s, v)
+				}
+				if !errors.Is(err, ErrDeadEnd) {
+					t.Fatalf("step %d: got %v, want ErrDeadEnd", s, err)
+				}
+				if w.Current() != 0 {
+					t.Fatalf("step %d: walker moved to %d on a failed step", s, w.Current())
+				}
+			}
+		})
+	}
+}
+
+// TestDeadEndUnreachableFromConnectedStart: walkers started inside the
+// connected part never hit the isolated node (sanity that the fault
+// injection above is about topology, not walker bugs).
+func TestDeadEndUnreachableFromConnectedStart(t *testing.T) {
+	g := isolatedNodeGraph(t)
+	for _, pw := range parityWalkers() {
+		sim := access.NewSimulator(g)
+		rng := rand.New(rand.NewSource(6))
+		w := pw.factory.New(sim, 1, rng)
+		for s := 0; s < 500; s++ {
+			v, err := w.Step()
+			if err != nil {
+				t.Fatalf("%s step %d: %v", pw.name, s, err)
+			}
+			if v == 0 {
+				t.Fatalf("%s reached the isolated node", pw.name)
+			}
+		}
+	}
+}

@@ -35,6 +35,13 @@ func (f *flakyClient) Neighbors(u graph.Node) ([]graph.Node, error) {
 	return f.inner.Neighbors(u)
 }
 
+func (f *flakyClient) NeighborsAppend(dst []graph.Node, u graph.Node) ([]graph.Node, error) {
+	if err := f.tick(); err != nil {
+		return dst, err
+	}
+	return f.inner.NeighborsAppend(dst, u)
+}
+
 func (f *flakyClient) Degree(u graph.Node) (int, error) {
 	if err := f.tick(); err != nil {
 		return 0, err

@@ -37,6 +37,7 @@ type Frontier struct {
 	circulate bool
 	history   map[edgeKey]*circulation
 	prev      []graph.Node
+	nbuf      []graph.Node // reused neighbor scratch (hot path, no allocs)
 }
 
 // NewFrontier returns an m-walker frontier sampler whose walkers all
@@ -128,10 +129,11 @@ func (f *Frontier) Step() (graph.Node, error) {
 		pick -= d
 	}
 	v := f.walkers[idx]
-	ns, err := f.client.Neighbors(v)
+	ns, err := f.client.NeighborsAppend(f.nbuf[:0], v)
 	if err != nil {
 		return f.cur, err
 	}
+	f.nbuf = ns
 	if len(ns) == 0 {
 		return f.cur, errDeadEnd(v)
 	}
@@ -237,12 +239,16 @@ func frontierStarts(c access.Client, s graph.Node, m int, r *rand.Rand) []graph.
 	starts := make([]graph.Node, 0, m)
 	starts = append(starts, s)
 	cur := s
+	var buf []graph.Node
 	for len(starts) < m {
-		ns, err := c.Neighbors(cur)
+		ns, err := c.NeighborsAppend(buf[:0], cur)
 		if err != nil || len(ns) == 0 {
+			// A failed or empty response (e.g. an isolated start): fall
+			// back to the shared start rather than indexing into ns.
 			starts = append(starts, s)
 			continue
 		}
+		buf = ns
 		cur = ns[r.Intn(len(ns))]
 		starts = append(starts, cur)
 	}

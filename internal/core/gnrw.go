@@ -10,10 +10,15 @@ import (
 // gnrwEdgeState is the per-directed-edge history of GNRW: b(u,v), the
 // set of successors already chosen since the last full circulation of
 // N(v), and R(u,v), the set of strata already chosen in the current
-// group round (the paper's S(u,v)).
+// group round (the paper's S(u,v)). Both are stored allocation-free:
+// used is a positional bitmap parallel to N(v) — sound because a
+// client's neighbor list is element-wise stable across queries (see
+// access.Client) — and round is a bitmap over stratum ids, which the
+// Grouper contract bounds to [0, NumGroups).
 type gnrwEdgeState struct {
-	used  map[graph.Node]struct{}
-	round map[int]struct{}
+	used  []bool // used[i]: the i-th neighbor of v is in b(u,v)
+	nUsed int    // |b(u,v)|
+	round []bool // round[gid]: stratum chosen in the current group round
 }
 
 // GNRW is the GroupBy Neighbors Random Walk (Algorithm 2): a CNRW whose
@@ -48,8 +53,10 @@ type GNRW struct {
 	// are deterministic, so this is sound and keeps grouping O(1)
 	// amortized per step.
 	groupCache map[graph.Node]int
-	// scratch buffers reused across steps
-	remaining map[int]int
+	// scratch buffers reused across steps (hot path, no allocs):
+	nbuf      []graph.Node
+	gids      []int // stratum of the i-th neighbor this step (-1: in b(u,v))
+	remaining []int // per-stratum count of not-yet-attempted members
 }
 
 // NewGNRW returns a groupby-neighbors walk starting at start, using the
@@ -63,7 +70,6 @@ func NewGNRW(c access.Client, grouper Grouper, start graph.Node, rng *rand.Rand)
 		cur:        start,
 		history:    make(map[edgeKey]*gnrwEdgeState),
 		groupCache: make(map[graph.Node]int),
-		remaining:  make(map[int]int),
 	}
 }
 
@@ -95,10 +101,11 @@ func (w *GNRW) groupOf(owner, n graph.Node) (int, error) {
 
 // Step implements Walker.
 func (w *GNRW) Step() (graph.Node, error) {
-	ns, err := w.client.Neighbors(w.cur)
+	ns, err := w.client.NeighborsAppend(w.nbuf[:0], w.cur)
 	if err != nil {
 		return w.cur, err
 	}
+	w.nbuf = ns
 	if len(ns) == 0 {
 		return w.cur, errDeadEnd(w.cur)
 	}
@@ -117,48 +124,113 @@ func (w *GNRW) Step() (graph.Node, error) {
 	return w.cur, nil
 }
 
+// growInt returns s zeroed and grown to length n, reusing capacity.
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// ensureRound grows st.round so gid is addressable, preserving state.
+func (st *gnrwEdgeState) ensureRound(gid int) {
+	for len(st.round) <= gid {
+		st.round = append(st.round, false)
+	}
+}
+
 // stratifiedPick performs the GNRW transition from the directed edge
-// prev→cur over the neighbor list ns of cur.
+// prev→cur over the neighbor list ns of cur. The scan order, skip
+// predicates and single rng.Intn draw replicate the historical
+// map-based implementation exactly, so trajectories are bit-identical;
+// only the bookkeeping containers changed.
 func (w *GNRW) stratifiedPick(ns []graph.Node) (graph.Node, error) {
 	key := packEdge(w.prev, w.cur)
 	st := w.history[key]
 	if st == nil {
-		st = &gnrwEdgeState{
-			used:  make(map[graph.Node]struct{}, len(ns)),
-			round: make(map[int]struct{}),
-		}
+		st = &gnrwEdgeState{used: make([]bool, len(ns))}
 		w.history[key] = st
+	} else if len(st.used) != len(ns) {
+		// Defensive: the neighbor list changed size under us (cannot
+		// happen over a static graph); restart this edge's history.
+		st.used = make([]bool, len(ns))
+		st.nUsed = 0
+		for i := range st.round {
+			st.round[i] = false
+		}
 	}
 
-	// Count not-yet-attempted members per stratum.
-	for gid := range w.remaining {
-		delete(w.remaining, gid)
+	// Resolve each not-yet-attempted neighbor's stratum and count the
+	// per-stratum remaining members (the historical counting pass, with
+	// the map swapped for positional slices).
+	if cap(w.gids) < len(ns) {
+		w.gids = make([]int, len(ns))
 	}
-	for _, n := range ns {
-		if _, skip := st.used[n]; skip {
+	w.gids = w.gids[:len(ns)]
+	maxGid := -1
+	for i, n := range ns {
+		if st.used[i] {
+			w.gids[i] = -1
 			continue
 		}
 		gid, err := w.groupOf(w.cur, n)
 		if err != nil {
 			return -1, err
 		}
-		w.remaining[gid]++
+		w.gids[i] = gid
+		if gid > maxGid {
+			maxGid = gid
+		}
 	}
+	w.remaining = growInt(w.remaining, maxGid+1)
+	for _, gid := range w.gids {
+		if gid >= 0 {
+			w.remaining[gid]++
+		}
+	}
+	st.ensureRound(maxGid)
 
 	// Candidate strata: active (non-exhausted) strata not yet chosen in
 	// the current round; reset the round when none remain.
 	totalCand := 0
 	for gid, cnt := range w.remaining {
-		if _, inRound := st.round[gid]; !inRound {
+		if !st.round[gid] {
 			totalCand += cnt
 		}
 	}
 	if totalCand == 0 {
 		for gid := range st.round {
-			delete(st.round, gid)
+			st.round[gid] = false
 		}
 		for _, cnt := range w.remaining {
 			totalCand += cnt
+		}
+	}
+	if totalCand == 0 {
+		// Every neighbor is marked used without the circulation having
+		// reset (cannot happen via stratifiedPick, which resets at the
+		// exact boundary): restart the circulation instead of panicking
+		// in rng.Intn(0).
+		for i := range st.used {
+			st.used[i] = false
+		}
+		st.nUsed = 0
+		for i, n := range ns {
+			gid, err := w.groupOf(w.cur, n)
+			if err != nil {
+				return -1, err
+			}
+			w.gids[i] = gid
+			for len(w.remaining) <= gid {
+				w.remaining = append(w.remaining, 0)
+			}
+			st.ensureRound(gid)
+			w.remaining[gid]++
+			totalCand++
 		}
 	}
 
@@ -167,41 +239,39 @@ func (w *GNRW) stratifiedPick(ns []graph.Node) (graph.Node, error) {
 	// single index in [0,totalCand) and scanning implements both choices
 	// at once: the stratum's slot mass equals its remaining count.
 	idx := w.rng.Intn(totalCand)
-	var chosen graph.Node = -1
-	var chosenGid int
-	for _, n := range ns {
-		if _, skip := st.used[n]; skip {
-			continue
+	chosenPos := -1
+	for i := range ns {
+		gid := w.gids[i]
+		if gid < 0 {
+			continue // already in b(u,v)
 		}
-		gid, err := w.groupOf(w.cur, n)
-		if err != nil {
-			return -1, err
-		}
-		if _, inRound := st.round[gid]; inRound {
-			continue
+		if st.round[gid] {
+			continue // stratum already chosen this round
 		}
 		if idx == 0 {
-			chosen = n
-			chosenGid = gid
+			chosenPos = i
 			break
 		}
 		idx--
 	}
-	if chosen < 0 {
+	if chosenPos < 0 {
 		// All active strata were in the round set (handled above by the
 		// reset), so this cannot happen; guard for safety.
 		return -1, errDeadEnd(w.cur)
 	}
 
-	st.used[chosen] = struct{}{}
-	st.round[chosenGid] = struct{}{}
-	if len(st.used) == len(ns) {
+	chosen := ns[chosenPos]
+	st.used[chosenPos] = true
+	st.nUsed++
+	st.round[w.gids[chosenPos]] = true
+	if st.nUsed == len(ns) {
 		// Full circulation of N(v): reset b(u,v) and the round.
-		for n := range st.used {
-			delete(st.used, n)
+		for i := range st.used {
+			st.used[i] = false
 		}
-		for gid := range st.round {
-			delete(st.round, gid)
+		st.nUsed = 0
+		for i := range st.round {
+			st.round[i] = false
 		}
 	}
 	return chosen, nil

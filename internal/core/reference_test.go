@@ -1,0 +1,407 @@
+package core
+
+// Reference implementations of the pre-refactor (map-based, allocating)
+// walk hot path, kept verbatim so the zero-allocation rewrite can be
+// proven replay-compatible: for the same seed, every walker must
+// consume the shared *rand.Rand in exactly the same order and produce
+// bit-identical trajectories and query costs. TestTrajectoryBitIdentity
+// and FuzzTrajectoryParity drive both paths side by side.
+//
+// Do not "modernize" this file: its value is being the historical
+// behavior, not good code.
+
+import (
+	"math/rand"
+
+	"histwalk/internal/access"
+	"histwalk/internal/graph"
+)
+
+// refCirculation is the historical map-based circulation: the set
+// b(u,v), with pick scanning ns for the idx-th unused element.
+type refCirculation struct {
+	used map[graph.Node]struct{}
+}
+
+func (c *refCirculation) pick(rng *rand.Rand, ns []graph.Node) graph.Node {
+	remaining := len(ns) - len(c.used)
+	if remaining <= 0 {
+		c.used = nil
+		remaining = len(ns)
+	}
+	idx := rng.Intn(remaining)
+	var chosen graph.Node = -1
+	for _, w := range ns {
+		if _, skip := c.used[w]; skip {
+			continue
+		}
+		if idx == 0 {
+			chosen = w
+			break
+		}
+		idx--
+	}
+	if c.used == nil {
+		c.used = make(map[graph.Node]struct{}, len(ns))
+	}
+	c.used[chosen] = struct{}{}
+	if len(c.used) == len(ns) {
+		c.used = nil
+	}
+	return chosen
+}
+
+// refEdgeKey is the historical packed edge key. Lossless for int32
+// nodes; retained here so the reference walkers match the old code
+// shape exactly.
+type refEdgeKey uint64
+
+func refPackEdge(u, v graph.Node) refEdgeKey {
+	return refEdgeKey(uint64(uint32(u))<<32 | uint64(uint32(v)))
+}
+
+// refWalker is the minimal stepping interface the parity tests need.
+type refWalker interface {
+	Step() (graph.Node, error)
+}
+
+type refSRW struct {
+	client access.Client
+	rng    *rand.Rand
+	cur    graph.Node
+}
+
+func (w *refSRW) Step() (graph.Node, error) {
+	ns, err := w.client.Neighbors(w.cur)
+	if err != nil {
+		return w.cur, err
+	}
+	if len(ns) == 0 {
+		return w.cur, errDeadEnd(w.cur)
+	}
+	w.cur = uniformPick(w.rng, ns)
+	return w.cur, nil
+}
+
+type refMHRW struct {
+	client access.Client
+	rng    *rand.Rand
+	cur    graph.Node
+}
+
+func (w *refMHRW) Step() (graph.Node, error) {
+	ns, err := w.client.Neighbors(w.cur)
+	if err != nil {
+		return w.cur, err
+	}
+	if len(ns) == 0 {
+		return w.cur, errDeadEnd(w.cur)
+	}
+	prop := uniformPick(w.rng, ns)
+	kw, err := w.client.SummaryDegree(w.cur, prop)
+	if err != nil {
+		return w.cur, err
+	}
+	kv := len(ns)
+	if kw <= kv || w.rng.Float64() < float64(kv)/float64(kw) {
+		w.cur = prop
+	}
+	return w.cur, nil
+}
+
+type refNBSRW struct {
+	client access.Client
+	rng    *rand.Rand
+	prev   graph.Node
+	cur    graph.Node
+}
+
+func (w *refNBSRW) Step() (graph.Node, error) {
+	ns, err := w.client.Neighbors(w.cur)
+	if err != nil {
+		return w.cur, err
+	}
+	if len(ns) == 0 {
+		return w.cur, errDeadEnd(w.cur)
+	}
+	var next graph.Node
+	if w.prev < 0 || len(ns) == 1 {
+		next = uniformPick(w.rng, ns)
+	} else {
+		i := w.rng.Intn(len(ns) - 1)
+		next = ns[i]
+		if next == w.prev {
+			next = ns[len(ns)-1]
+		}
+	}
+	w.prev = w.cur
+	w.cur = next
+	return w.cur, nil
+}
+
+type refCNRW struct {
+	client  access.Client
+	rng     *rand.Rand
+	prev    graph.Node
+	cur     graph.Node
+	history map[refEdgeKey]*refCirculation
+}
+
+func (w *refCNRW) Step() (graph.Node, error) {
+	ns, err := w.client.Neighbors(w.cur)
+	if err != nil {
+		return w.cur, err
+	}
+	if len(ns) == 0 {
+		return w.cur, errDeadEnd(w.cur)
+	}
+	var next graph.Node
+	if w.prev < 0 {
+		next = uniformPick(w.rng, ns)
+	} else {
+		k := refPackEdge(w.prev, w.cur)
+		c := w.history[k]
+		if c == nil {
+			c = &refCirculation{}
+			w.history[k] = c
+		}
+		next = c.pick(w.rng, ns)
+	}
+	w.prev = w.cur
+	w.cur = next
+	return w.cur, nil
+}
+
+type refCNRWNode struct {
+	client  access.Client
+	rng     *rand.Rand
+	cur     graph.Node
+	history map[graph.Node]*refCirculation
+}
+
+func (w *refCNRWNode) Step() (graph.Node, error) {
+	ns, err := w.client.Neighbors(w.cur)
+	if err != nil {
+		return w.cur, err
+	}
+	if len(ns) == 0 {
+		return w.cur, errDeadEnd(w.cur)
+	}
+	c := w.history[w.cur]
+	if c == nil {
+		c = &refCirculation{}
+		w.history[w.cur] = c
+	}
+	w.cur = c.pick(w.rng, ns)
+	return w.cur, nil
+}
+
+type refNBCNRW struct {
+	client  access.Client
+	rng     *rand.Rand
+	prev    graph.Node
+	cur     graph.Node
+	history map[refEdgeKey]*refCirculation
+	scratch []graph.Node
+}
+
+func (w *refNBCNRW) Step() (graph.Node, error) {
+	ns, err := w.client.Neighbors(w.cur)
+	if err != nil {
+		return w.cur, err
+	}
+	if len(ns) == 0 {
+		return w.cur, errDeadEnd(w.cur)
+	}
+	var next graph.Node
+	switch {
+	case w.prev < 0:
+		next = uniformPick(w.rng, ns)
+	case len(ns) == 1:
+		next = ns[0]
+	default:
+		w.scratch = w.scratch[:0]
+		for _, u := range ns {
+			if u != w.prev {
+				w.scratch = append(w.scratch, u)
+			}
+		}
+		k := refPackEdge(w.prev, w.cur)
+		c := w.history[k]
+		if c == nil {
+			c = &refCirculation{}
+			w.history[k] = c
+		}
+		next = c.pick(w.rng, w.scratch)
+	}
+	w.prev = w.cur
+	w.cur = next
+	return w.cur, nil
+}
+
+// refGNRWEdgeState mirrors the historical per-edge GNRW memory.
+type refGNRWEdgeState struct {
+	used  map[graph.Node]struct{}
+	round map[int]struct{}
+}
+
+type refGNRW struct {
+	client     access.Client
+	grouper    Grouper
+	rng        *rand.Rand
+	prev       graph.Node
+	cur        graph.Node
+	history    map[refEdgeKey]*refGNRWEdgeState
+	groupCache map[graph.Node]int
+	remaining  map[int]int
+}
+
+func (w *refGNRW) groupOf(owner, n graph.Node) (int, error) {
+	if gid, ok := w.groupCache[n]; ok {
+		return gid, nil
+	}
+	gid, err := w.grouper.GroupOf(w.client, owner, n)
+	if err != nil {
+		return 0, err
+	}
+	w.groupCache[n] = gid
+	return gid, nil
+}
+
+func (w *refGNRW) Step() (graph.Node, error) {
+	ns, err := w.client.Neighbors(w.cur)
+	if err != nil {
+		return w.cur, err
+	}
+	if len(ns) == 0 {
+		return w.cur, errDeadEnd(w.cur)
+	}
+	var next graph.Node
+	if w.prev < 0 {
+		next = uniformPick(w.rng, ns)
+	} else {
+		next, err = w.stratifiedPick(ns)
+		if err != nil {
+			return w.cur, err
+		}
+	}
+	w.prev = w.cur
+	w.cur = next
+	return w.cur, nil
+}
+
+func (w *refGNRW) stratifiedPick(ns []graph.Node) (graph.Node, error) {
+	key := refPackEdge(w.prev, w.cur)
+	st := w.history[key]
+	if st == nil {
+		st = &refGNRWEdgeState{
+			used:  make(map[graph.Node]struct{}, len(ns)),
+			round: make(map[int]struct{}),
+		}
+		w.history[key] = st
+	}
+	for gid := range w.remaining {
+		delete(w.remaining, gid)
+	}
+	for _, n := range ns {
+		if _, skip := st.used[n]; skip {
+			continue
+		}
+		gid, err := w.groupOf(w.cur, n)
+		if err != nil {
+			return -1, err
+		}
+		w.remaining[gid]++
+	}
+	totalCand := 0
+	for gid, cnt := range w.remaining {
+		if _, inRound := st.round[gid]; !inRound {
+			totalCand += cnt
+		}
+	}
+	if totalCand == 0 {
+		for gid := range st.round {
+			delete(st.round, gid)
+		}
+		for _, cnt := range w.remaining {
+			totalCand += cnt
+		}
+	}
+	idx := w.rng.Intn(totalCand)
+	var chosen graph.Node = -1
+	var chosenGid int
+	for _, n := range ns {
+		if _, skip := st.used[n]; skip {
+			continue
+		}
+		gid, err := w.groupOf(w.cur, n)
+		if err != nil {
+			return -1, err
+		}
+		if _, inRound := st.round[gid]; inRound {
+			continue
+		}
+		if idx == 0 {
+			chosen = n
+			chosenGid = gid
+			break
+		}
+		idx--
+	}
+	if chosen < 0 {
+		return -1, errDeadEnd(w.cur)
+	}
+	st.used[chosen] = struct{}{}
+	st.round[chosenGid] = struct{}{}
+	if len(st.used) == len(ns) {
+		for n := range st.used {
+			delete(st.used, n)
+		}
+		for gid := range st.round {
+			delete(st.round, gid)
+		}
+	}
+	return chosen, nil
+}
+
+// newRefWalker builds the reference twin of a registry algorithm.
+// Names mirror internal/registry's builders (with the same grouper
+// parameters), so the parity tests cover every registered walker.
+func newRefWalker(name string, c access.Client, start graph.Node, rng *rand.Rand) refWalker {
+	switch name {
+	case "srw":
+		return &refSRW{client: c, rng: rng, cur: start}
+	case "mhrw":
+		return &refMHRW{client: c, rng: rng, cur: start}
+	case "nbsrw":
+		return &refNBSRW{client: c, rng: rng, prev: -1, cur: start}
+	case "cnrw":
+		return &refCNRW{client: c, rng: rng, prev: -1, cur: start, history: make(map[refEdgeKey]*refCirculation)}
+	case "cnrw-node":
+		return &refCNRWNode{client: c, rng: rng, cur: start, history: make(map[graph.Node]*refCirculation)}
+	case "nbcnrw":
+		return &refNBCNRW{client: c, rng: rng, prev: -1, cur: start, history: make(map[refEdgeKey]*refCirculation)}
+	case "gnrw-degree", "gnrw-md5", "gnrw-reviews":
+		return &refGNRW{
+			client: c, grouper: parityGrouper(name), rng: rng, prev: -1, cur: start,
+			history:    make(map[refEdgeKey]*refGNRWEdgeState),
+			groupCache: make(map[graph.Node]int),
+			remaining:  make(map[int]int),
+		}
+	}
+	panic("unknown reference walker " + name)
+}
+
+// parityGrouper returns the grouper each registry GNRW variant uses
+// (m = 5, the registry default).
+func parityGrouper(name string) Grouper {
+	switch name {
+	case "gnrw-degree":
+		return DegreeGrouper{M: 5}
+	case "gnrw-md5":
+		return HashGrouper{M: 5}
+	case "gnrw-reviews":
+		return AttrGrouper{Attr: parityReviewsAttr, M: 5}
+	}
+	panic("unknown grouper for " + name)
+}

@@ -14,9 +14,29 @@
 //   - share the stationary distribution π(v) = k_v/2|E| of the simple
 //     random walk (except MHRW, whose target is uniform);
 //   - are deterministic given a seeded *rand.Rand.
+//
+// # Hot path and allocation discipline
+//
+// Step is the system's innermost loop — the engine's trial runners, the
+// session's chains and histwalkd's concurrent jobs all spend their time
+// here — so every walker keeps its transient state in reused per-walker
+// scratch buffers and fetches neighborhoods through the client's
+// allocation-free NeighborsAppend. Steady-state Step performs zero
+// allocations; the only amortized allocations left are the per-directed-
+// edge history entries of the history-aware walks, paid once per new
+// edge (the O(K) space of §3.3/§4.2), never per step.
+//
+// The rewrite is replay-compatible with the historical map-based
+// implementation: for the same seed, every walker consumes the shared
+// *rand.Rand in exactly the same order and produces bit-identical
+// trajectories and query costs (enforced by the reference
+// implementations in reference_test.go and the trajectory fuzz target).
+// Any future change to a Step path must preserve that RNG-consumption
+// order or declare a new algorithm name.
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -56,24 +76,35 @@ type Factory struct {
 	New func(c access.Client, start graph.Node, rng *rand.Rand) Walker
 }
 
-// uniformPick returns a uniformly random element of ns.
+// uniformPick returns a uniformly random element of ns. ns must be
+// non-empty; every call site guards with an errDeadEnd check first.
 func uniformPick(rng *rand.Rand, ns []graph.Node) graph.Node {
 	return ns[rng.Intn(len(ns))]
 }
 
-// errDeadEnd reports a walk stuck on an isolated node. The paper assumes
-// connected graphs with no degree-0 nodes; hitting this means the input
-// violated that precondition.
+// ErrDeadEnd reports a walk stuck on a node with no neighbors. The
+// paper assumes connected graphs with no degree-0 nodes; hitting this
+// means the input violated that precondition. Walkers surface it as an
+// error (match with errors.Is) — never as an index panic.
+var ErrDeadEnd = errors.New("core: walk cannot proceed from a node with no neighbors")
+
+// errDeadEnd wraps ErrDeadEnd with the stuck node.
 func errDeadEnd(v graph.Node) error {
-	return fmt.Errorf("core: node %d has no neighbors; walk cannot proceed", v)
+	return fmt.Errorf("%w (node %d)", ErrDeadEnd, v)
 }
 
-// edgeKey packs the directed edge u→v into a map key.
-type edgeKey uint64
+// edgeKey identifies the directed edge u→v in the history-aware walks'
+// per-edge memory. It is a comparable struct rather than a packed
+// integer: the former uint64 packing truncated each endpoint through
+// uint32, which silently folds distinct edges onto one key — corrupting
+// circulation history — the moment graph.Node is ever widened beyond 32
+// bits. A struct key is collision-free for the full Node range
+// (negative sentinel values included) by construction, whatever Node's
+// width.
+type edgeKey struct{ u, v graph.Node }
 
-func packEdge(u, v graph.Node) edgeKey {
-	return edgeKey(uint64(uint32(u))<<32 | uint64(uint32(v)))
-}
+// packEdge builds the history key of the directed edge u→v.
+func packEdge(u, v graph.Node) edgeKey { return edgeKey{u: u, v: v} }
 
 // SRW is the Simple Random Walk (Definition 2): an order-1 Markov chain
 // that moves to a neighbor chosen uniformly at random, with stationary
@@ -83,6 +114,7 @@ type SRW struct {
 	rng    *rand.Rand
 	cur    graph.Node
 	steps  int
+	nbuf   []graph.Node // reused neighbor scratch (hot path, no allocs)
 }
 
 // NewSRW returns a simple random walk starting at start.
@@ -101,10 +133,11 @@ func (w *SRW) Steps() int { return w.steps }
 
 // Step implements Walker.
 func (w *SRW) Step() (graph.Node, error) {
-	ns, err := w.client.Neighbors(w.cur)
+	ns, err := w.client.NeighborsAppend(w.nbuf[:0], w.cur)
 	if err != nil {
 		return w.cur, err
 	}
+	w.nbuf = ns
 	if len(ns) == 0 {
 		return w.cur, errDeadEnd(w.cur)
 	}
@@ -132,6 +165,7 @@ type MHRW struct {
 	rng    *rand.Rand
 	cur    graph.Node
 	steps  int
+	nbuf   []graph.Node
 	// Rejections counts proposals that were declined (walk stayed).
 	Rejections int
 }
@@ -152,10 +186,11 @@ func (w *MHRW) Steps() int { return w.steps }
 
 // Step implements Walker.
 func (w *MHRW) Step() (graph.Node, error) {
-	ns, err := w.client.Neighbors(w.cur)
+	ns, err := w.client.NeighborsAppend(w.nbuf[:0], w.cur)
 	if err != nil {
 		return w.cur, err
 	}
+	w.nbuf = ns
 	if len(ns) == 0 {
 		return w.cur, errDeadEnd(w.cur)
 	}
@@ -192,6 +227,7 @@ type NBSRW struct {
 	prev   graph.Node // -1 before the first transition
 	cur    graph.Node
 	steps  int
+	nbuf   []graph.Node
 }
 
 // NewNBSRW returns a non-backtracking walk starting at start.
@@ -210,10 +246,11 @@ func (w *NBSRW) Steps() int { return w.steps }
 
 // Step implements Walker.
 func (w *NBSRW) Step() (graph.Node, error) {
-	ns, err := w.client.Neighbors(w.cur)
+	ns, err := w.client.NeighborsAppend(w.nbuf[:0], w.cur)
 	if err != nil {
 		return w.cur, err
 	}
+	w.nbuf = ns
 	if len(ns) == 0 {
 		return w.cur, errDeadEnd(w.cur)
 	}

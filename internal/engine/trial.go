@@ -149,6 +149,13 @@ func maxStepsFor(budgets []int) int {
 // drawn uniformly from non-isolated nodes using the trial RNG, exactly
 // once per trial, so all algorithms compared under the same seed share
 // the start. The trial owns its Simulator: nothing it touches is shared.
+//
+// The step loop rides the walkers' zero-allocation hot path (per-walker
+// scratch buffers over access.Client.NeighborsAppend; see internal/core)
+// and Measure reads the graph directly, so a trial's steady-state
+// allocations are only the snapshot rows and the optional recorded path
+// — which is what lets the pool's workers scale with cores instead of
+// fighting the allocator (BENCH_engine.json tracks the end-to-end win).
 func RunTrial(job Job, seed int64) (*TrialResult, error) {
 	if err := validateBudgets(job.Budgets); err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -272,6 +273,9 @@ func ReadDirectedEdgeList(r io.Reader) (*Digraph, map[int64]Node, error) {
 	sorted := make([]int64, 0, len(ids))
 	for id := range ids {
 		sorted = append(sorted, id)
+	}
+	if int64(len(sorted)) > int64(math.MaxInt32) {
+		return nil, nil, fmt.Errorf("graph: arc list has %d distinct nodes, more than graph.Node (int32) can address", len(sorted))
 	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	remap := make(map[int64]Node, len(sorted))

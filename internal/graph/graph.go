@@ -13,10 +13,22 @@
 //     triangle counts, connected components) in stats.go;
 //   - plain-text edge-list and attribute I/O in io.go.
 //
-// Graphs are simple (no self-loops, no parallel edges) and undirected:
-// for every stored arc u→v the reverse arc v→u is stored too, matching
-// the access model of the paper (§2.1), which casts directed OSNs into
-// undirected graphs.
+// Graphs are undirected with no parallel edges: for every stored arc
+// u→v between distinct nodes the reverse arc v→u is stored too,
+// matching the access model of the paper (§2.1), which casts directed
+// OSNs into undirected graphs. Self-loops are dropped by default (the
+// paper's datasets are loop-free) but may be admitted explicitly via
+// Builder.AllowSelfLoops; the CSR convention is then:
+//
+//   - a self-loop at v is stored ONCE in v's neighbor list (v appears
+//     in its own sorted list exactly once), so Degree(v) = |N(v)|
+//     counts the loop once — the size of the neighbor list the access
+//     model would return for v;
+//   - NumEdges counts the loop as one edge, accounting for its single
+//     storage slot exactly: |E| = (len(targets) + loops) / 2;
+//   - the simple random walk's stationary distribution remains
+//     π(v) = k_v / Σ_u k_u (TheoreticalStationary), which detailed
+//     balance shows is exact under this convention, loops included.
 package graph
 
 import (
@@ -35,6 +47,7 @@ type Graph struct {
 	name    string
 	offsets []int64 // len NumNodes+1; neighbor list of v is targets[offsets[v]:offsets[v+1]]
 	targets []Node  // concatenated sorted neighbor lists
+	loops   int     // number of self-loops; each occupies ONE slot in targets
 	attrs   map[string][]float64
 }
 
@@ -52,10 +65,20 @@ func (g *Graph) NumNodes() int {
 	return len(g.offsets) - 1
 }
 
-// NumEdges returns |E|, the number of undirected edges.
-func (g *Graph) NumEdges() int { return len(g.targets) / 2 }
+// NumEdges returns |E|, the number of undirected edges, counting each
+// self-loop as one edge. A loop occupies a single CSR slot while an
+// edge between distinct nodes occupies two, so the exact count is
+// (len(targets) + loops) / 2 — the former len(targets)/2 silently
+// undercounted every self-loop by half an edge.
+func (g *Graph) NumEdges() int { return (len(g.targets) + g.loops) / 2 }
 
-// Degree returns k_v, the number of neighbors of v.
+// NumSelfLoops returns the number of self-loops (0 unless the graph
+// was built with Builder.AllowSelfLoops).
+func (g *Graph) NumSelfLoops() int { return g.loops }
+
+// Degree returns k_v = |N(v)|, the length of v's neighbor list. A
+// self-loop contributes one (v lists itself once), matching what the
+// access model's neighborhood query would return.
 func (g *Graph) Degree(v Node) int {
 	return int(g.offsets[v+1] - g.offsets[v])
 }
@@ -73,7 +96,9 @@ func (g *Graph) HasEdge(u, v Node) bool {
 	return i < len(ns) && ns[i] == v
 }
 
-// AvgDegree returns the mean degree 2|E|/|V| (0 for the empty graph).
+// AvgDegree returns the mean degree Σ_v k_v / |V| — equal to 2|E|/|V|
+// on loop-free graphs, and consistent with Degree's neighbor-list-length
+// convention when self-loops are present (0 for the empty graph).
 func (g *Graph) AvgDegree() float64 {
 	n := g.NumNodes()
 	if n == 0 {
@@ -163,8 +188,10 @@ func (g *Graph) DegreeAttr() []float64 {
 }
 
 // TheoreticalStationary returns the stationary distribution of a simple
-// random walk on g: π(v) = k_v / 2|E| (Definition 2 / Eq. 3 of the
-// paper). Degree-0 nodes get probability 0.
+// random walk on g: π(v) = k_v / Σ_u k_u, which is k_v / 2|E|
+// (Definition 2 / Eq. 3 of the paper) on loop-free graphs and remains
+// exact — by detailed balance — under the loop-stored-once convention
+// when self-loops are admitted. Degree-0 nodes get probability 0.
 func (g *Graph) TheoreticalStationary() []float64 {
 	n := g.NumNodes()
 	out := make([]float64, n)
@@ -179,13 +206,16 @@ func (g *Graph) TheoreticalStationary() []float64 {
 }
 
 // Validate checks structural invariants (sorted neighbor lists, no
-// self-loops, no duplicates, symmetric adjacency) and returns the first
-// violation found. It is O(|E| log d) and intended for tests.
+// duplicates, symmetric adjacency, loop accounting) and returns the
+// first violation found. Self-loops are valid only when the loop
+// counter covers them (they enter via Builder.AllowSelfLoops and are
+// stored once). It is O(|E| log d) and intended for tests.
 func (g *Graph) Validate() error {
 	n := g.NumNodes()
 	if len(g.offsets) > 0 && g.offsets[0] != 0 {
 		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
 	}
+	loops := 0
 	for v := 0; v < n; v++ {
 		if g.offsets[v+1] < g.offsets[v] {
 			return fmt.Errorf("graph: offsets not monotone at node %d", v)
@@ -193,7 +223,7 @@ func (g *Graph) Validate() error {
 		ns := g.Neighbors(Node(v))
 		for i, u := range ns {
 			if u == Node(v) {
-				return fmt.Errorf("graph: self-loop at node %d", v)
+				loops++
 			}
 			if u < 0 || int(u) >= n {
 				return fmt.Errorf("graph: node %d has out-of-range neighbor %d", v, u)
@@ -206,6 +236,9 @@ func (g *Graph) Validate() error {
 			}
 		}
 	}
+	if loops != g.loops {
+		return fmt.Errorf("graph: %d self-loops stored but %d accounted (NumEdges would be wrong)", loops, g.loops)
+	}
 	for name, vs := range g.attrs {
 		if len(vs) != n {
 			return fmt.Errorf("graph: attribute %q has %d values, want %d", name, len(vs), n)
@@ -214,12 +247,13 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// Edges invokes fn once per undirected edge {u,v} with u < v. Iteration
+// Edges invokes fn once per undirected edge {u,v} with u <= v
+// (self-loops, stored once, are visited once as fn(v, v)). Iteration
 // stops early if fn returns false.
 func (g *Graph) Edges(fn func(u, v Node) bool) {
 	for u := 0; u < g.NumNodes(); u++ {
 		for _, v := range g.Neighbors(Node(u)) {
-			if Node(u) < v {
+			if Node(u) <= v {
 				if !fn(Node(u), v) {
 					return
 				}
@@ -229,12 +263,22 @@ func (g *Graph) Edges(fn func(u, v Node) bool) {
 }
 
 // Builder accumulates edges and produces an immutable Graph. Duplicate
-// edges and self-loops are silently dropped; node IDs may be added in any
-// order. The zero value is ready to use.
+// edges are silently dropped, as are self-loops unless AllowSelfLoops
+// was called; node IDs may be added in any order. The zero value is
+// ready to use.
 type Builder struct {
-	n   int
-	adj []map[Node]struct{}
+	n          int
+	adj        []map[Node]struct{}
+	allowLoops bool
+	loops      int // distinct self-loops added, maintained incrementally
 }
+
+// AllowSelfLoops makes subsequent AddEdge(v, v) calls store the loop
+// (once, per the package's loop-stored-once CSR convention) instead of
+// silently dropping it. Generators never enable this; the edge-list
+// loader does, so datasets with loop lines round-trip with an exact
+// NumEdges.
+func (b *Builder) AllowSelfLoops() { b.allowLoops = true }
 
 // NewBuilder returns a Builder pre-sized for n nodes. Nodes are
 // implicitly created: AddEdge(u, v) grows the node set to max(u,v)+1.
@@ -255,10 +299,11 @@ func (b *Builder) EnsureNodes(n int) {
 // NumNodes returns the current number of nodes.
 func (b *Builder) NumNodes() int { return b.n }
 
-// AddEdge inserts the undirected edge {u,v}. Self-loops are ignored.
-// It reports whether the edge was newly added.
+// AddEdge inserts the undirected edge {u,v}. Self-loops are ignored
+// unless AllowSelfLoops was called. It reports whether the edge was
+// newly added.
 func (b *Builder) AddEdge(u, v Node) bool {
-	if u == v || u < 0 || v < 0 {
+	if u < 0 || v < 0 || (u == v && !b.allowLoops) {
 		return false
 	}
 	hi := u
@@ -277,6 +322,9 @@ func (b *Builder) AddEdge(u, v Node) bool {
 		b.adj[v] = make(map[Node]struct{})
 	}
 	b.adj[v][u] = struct{}{}
+	if u == v {
+		b.loops++
+	}
 	return true
 }
 
@@ -297,19 +345,21 @@ func (b *Builder) Degree(u Node) int {
 	return len(b.adj[u])
 }
 
-// NumEdges returns the number of distinct undirected edges added so far.
+// NumEdges returns the number of distinct undirected edges added so
+// far, counting each self-loop as one edge.
 func (b *Builder) NumEdges() int {
 	total := 0
 	for _, m := range b.adj {
 		total += len(m)
 	}
-	return total / 2
+	return (total + b.loops) / 2
 }
 
 // Build freezes the accumulated edges into an immutable Graph.
 func (b *Builder) Build() *Graph {
 	g := &Graph{
 		offsets: make([]int64, b.n+1),
+		loops:   b.loops,
 		attrs:   make(map[string][]float64),
 	}
 	var total int64

@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -17,7 +18,14 @@ import (
 // ReadEdgeList parses an undirected edge list from r. Node IDs may be
 // arbitrary non-negative integers; they are densely relabeled in
 // ascending order of original ID. The returned map gives original ID →
-// dense Node. Lines starting with '#' or '%' and blank lines are skipped.
+// dense Node. Lines starting with '#' or '%' and blank lines are
+// skipped. Self-loop lines ("v v") are preserved under the
+// loop-stored-once CSR convention, so NumEdges matches the file's
+// distinct edge count; duplicate lines are still dropped. The distinct
+// node count must fit graph.Node (int32): larger inputs fail with a
+// clear error rather than silently truncating the dense relabeling,
+// which would fold distinct nodes — and therefore distinct walk-history
+// edge keys — onto each other.
 func ReadEdgeList(r io.Reader) (*Graph, map[int64]Node, error) {
 	type rawEdge struct{ u, v int64 }
 	var edges []rawEdge
@@ -57,12 +65,16 @@ func ReadEdgeList(r io.Reader) (*Graph, map[int64]Node, error) {
 	for id := range ids {
 		sorted = append(sorted, id)
 	}
+	if int64(len(sorted)) > int64(math.MaxInt32) {
+		return nil, nil, fmt.Errorf("graph: edge list has %d distinct nodes, more than graph.Node (int32) can address", len(sorted))
+	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	remap := make(map[int64]Node, len(sorted))
 	for i, id := range sorted {
 		remap[id] = Node(i)
 	}
 	b := NewBuilder(len(sorted))
+	b.AllowSelfLoops()
 	for _, e := range edges {
 		b.AddEdge(remap[e.u], remap[e.v])
 	}

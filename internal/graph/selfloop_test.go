@@ -1,0 +1,177 @@
+package graph
+
+// Regression tests for the self-loop CSR convention: a loop is stored
+// once, Degree counts it once, NumEdges counts it as exactly one edge
+// ((len(targets)+loops)/2 — the former len(targets)/2 undercounted),
+// and the stationary law π(v) = k_v/Σk stays exact.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func loopGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	b.AllowSelfLoops()
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(1, 1) // self-loop
+	if b.AddEdge(1, 1) {
+		t.Fatal("duplicate self-loop accepted")
+	}
+	if b.NumEdges() != 4 {
+		t.Fatalf("builder NumEdges = %d, want 4", b.NumEdges())
+	}
+	return b.Build()
+}
+
+func TestSelfLoopCountsAndDegrees(t *testing.T) {
+	g := loopGraph(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("loop graph invalid: %v", err)
+	}
+	if got := g.NumEdges(); got != 4 {
+		t.Fatalf("NumEdges = %d, want 4 (3 plain edges + 1 loop)", got)
+	}
+	if got := g.NumSelfLoops(); got != 1 {
+		t.Fatalf("NumSelfLoops = %d, want 1", got)
+	}
+	// Degrees: 0:{1}, 1:{0,1,2}, 2:{1,3}, 3:{2}.
+	wantDeg := []int{1, 3, 2, 1}
+	sum := 0
+	for v, want := range wantDeg {
+		if got := g.Degree(Node(v)); got != want {
+			t.Fatalf("Degree(%d) = %d, want %d", v, got, want)
+		}
+		sum += wantDeg[v]
+	}
+	// AvgDegree is the mean neighbor-list length, consistent with Degree.
+	if got, want := g.AvgDegree(), float64(sum)/4; got != want {
+		t.Fatalf("AvgDegree = %v, want %v", got, want)
+	}
+	if !g.HasEdge(1, 1) {
+		t.Fatal("HasEdge(1,1) = false for a stored loop")
+	}
+	// π sums to 1 and is ∝ degree.
+	pi := g.TheoreticalStationary()
+	total := 0.0
+	for v, p := range pi {
+		total += p
+		if want := float64(wantDeg[v]) / float64(sum); math.Abs(p-want) > 1e-15 {
+			t.Fatalf("π(%d) = %v, want %v", v, p, want)
+		}
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("π sums to %v", total)
+	}
+}
+
+func TestSelfLoopEdgeListRoundTrip(t *testing.T) {
+	g := loopGraph(t)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\n1 1\n") {
+		t.Fatalf("loop line missing from edge list:\n%s", buf.String())
+	}
+	g2, _, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 4 || g2.NumSelfLoops() != 1 {
+		t.Fatalf("round-trip: NumEdges = %d, NumSelfLoops = %d, want 4, 1", g2.NumEdges(), g2.NumSelfLoops())
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatalf("round-tripped loop graph invalid: %v", err)
+	}
+	for v := 0; v < 4; v++ {
+		if g2.Degree(Node(v)) != g.Degree(Node(v)) {
+			t.Fatalf("round-trip degree mismatch at %d", v)
+		}
+	}
+}
+
+func TestSelfLoopLoaderParsesLoopLines(t *testing.T) {
+	in := "# comment\n10 20\n20 20\n20 30\n"
+	g, remap, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3 (loop preserved)", g.NumEdges())
+	}
+	if g.Degree(remap[20]) != 3 {
+		t.Fatalf("Degree(20) = %d, want 3 (two plain neighbors + own loop)", g.Degree(remap[20]))
+	}
+}
+
+func TestSelfLoopsStillDroppedByDefault(t *testing.T) {
+	b := NewBuilder(3)
+	if b.AddEdge(1, 1) {
+		t.Fatal("self-loop accepted without AllowSelfLoops")
+	}
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if g.NumEdges() != 1 || g.NumSelfLoops() != 0 {
+		t.Fatalf("NumEdges = %d, NumSelfLoops = %d, want 1, 0", g.NumEdges(), g.NumSelfLoops())
+	}
+}
+
+func TestSelfLoopDoesNotCloseWedges(t *testing.T) {
+	// Triangle-free path 0-1-2 with a loop at 1: clustering and triangle
+	// counts must ignore the loop (1 is not its own neighbor for wedge
+	// purposes).
+	b := NewBuilder(3)
+	b.AllowSelfLoops()
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 1)
+	g := b.Build()
+	for v := Node(0); v < 3; v++ {
+		if c := g.LocalClustering(v); c != 0 {
+			t.Fatalf("LocalClustering(%d) = %v on a triangle-free graph", v, c)
+		}
+	}
+	if got := g.Triangles(); got != 0 {
+		t.Fatalf("Triangles = %d on a triangle-free graph", got)
+	}
+	if got := g.AvgClustering(); got != 0 {
+		t.Fatalf("AvgClustering = %v on a triangle-free graph", got)
+	}
+	// A real triangle with a loop at one corner: counts unchanged by the
+	// loop.
+	b2 := NewBuilder(3)
+	b2.AllowSelfLoops()
+	b2.AddEdge(0, 1)
+	b2.AddEdge(1, 2)
+	b2.AddEdge(0, 2)
+	b2.AddEdge(0, 0)
+	g2 := b2.Build()
+	if got := g2.Triangles(); got != 1 {
+		t.Fatalf("Triangles = %d, want 1", got)
+	}
+	for v := Node(0); v < 3; v++ {
+		if c := g2.LocalClustering(v); c != 1 {
+			t.Fatalf("LocalClustering(%d) = %v, want 1 (loop must not dilute C(k,2))", v, c)
+		}
+	}
+}
+
+func TestSelfLoopInducedSubgraphPreservesLoops(t *testing.T) {
+	g := loopGraph(t)
+	sub := g.InducedSubgraph([]Node{0, 1, 2})
+	if sub.NumSelfLoops() != 1 {
+		t.Fatalf("subgraph dropped the loop: NumSelfLoops = %d", sub.NumSelfLoops())
+	}
+	if sub.NumEdges() != 3 { // {0,1}, {1,2}, loop at 1
+		t.Fatalf("subgraph NumEdges = %d, want 3", sub.NumEdges())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

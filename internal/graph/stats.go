@@ -9,10 +9,15 @@ package graph
 import "sort"
 
 // LocalClustering returns the local clustering coefficient of v:
-// the number of edges among N(v) divided by C(k_v, 2). Nodes of degree
-// < 2 have coefficient 0 by convention.
+// the number of edges among N(v)\{v} divided by C(k, 2) over the
+// loop-free degree k. A self-loop is neither a wedge edge nor a
+// neighbor for clustering purposes. Nodes of loop-free degree < 2 have
+// coefficient 0 by convention.
 func (g *Graph) LocalClustering(v Node) float64 {
 	k := g.Degree(v)
+	if g.loops > 0 && g.HasEdge(v, v) {
+		k-- // exclude v's own loop entry from the neighborhood
+	}
 	if k < 2 {
 		return 0
 	}
@@ -20,22 +25,28 @@ func (g *Graph) LocalClustering(v Node) float64 {
 	return 2 * float64(links) / (float64(k) * float64(k-1))
 }
 
-// neighborLinks counts edges among the neighbors of v via sorted-list
+// neighborLinks counts edges among the neighbors of v (excluding v
+// itself, so self-loops never close a wedge) via sorted-list
 // intersection.
 func (g *Graph) neighborLinks(v Node) int64 {
 	ns := g.Neighbors(v)
 	var links int64
 	for _, u := range ns {
+		if u == v {
+			continue // v's loop entry: v is not a neighbor of itself here
+		}
 		// count common neighbors of v and u that are > u to avoid double
 		// counting within this node's neighborhood.
-		links += countIntersectionAbove(ns, g.Neighbors(u), u)
+		links += countIntersectionAbove(ns, g.Neighbors(u), u, v)
 	}
 	return links
 }
 
 // countIntersectionAbove counts elements common to sorted lists a and b
-// that are strictly greater than floor.
-func countIntersectionAbove(a, b []Node, floor Node) int64 {
+// that are strictly greater than floor, skipping the excluded node (the
+// wedge center, which can appear in both lists when it has a self-loop
+// but is never a third corner).
+func countIntersectionAbove(a, b []Node, floor, exclude Node) int64 {
 	ia := sort.Search(len(a), func(i int) bool { return a[i] > floor })
 	ib := sort.Search(len(b), func(i int) bool { return b[i] > floor })
 	var count int64
@@ -46,7 +57,9 @@ func countIntersectionAbove(a, b []Node, floor Node) int64 {
 		case a[ia] > b[ib]:
 			ib++
 		default:
-			count++
+			if a[ia] != exclude {
+				count++
+			}
 			ia++
 			ib++
 		}
@@ -178,6 +191,9 @@ func (g *Graph) InducedSubgraph(nodes []Node) *Graph {
 		kept = append(kept, v)
 	}
 	b := NewBuilder(len(kept))
+	if g.loops > 0 {
+		b.AllowSelfLoops() // preserve loops instead of silently dropping
+	}
 	for _, v := range kept {
 		nv := remap[v]
 		for _, u := range g.Neighbors(v) {

@@ -1,0 +1,124 @@
+package session
+
+// Property/fuzz coverage for the hot-path rewrite's spec-level
+// contracts, over fuzzer-chosen (walker × budget × chains × cache
+// policy × workers) combinations:
+//
+//   - per-chain trajectories and budgets are invariant under the cache
+//     policy (CacheShared changes who pays the network, never what a
+//     chain sees);
+//   - Σ per-chain query costs (TotalQueries) is identical across cache
+//     policies and across Run vs Session execution;
+//   - the shared-cache ledger balances: GlobalQueries + CrossChainHits
+//     == TotalQueries under the unique-cost model.
+//
+// The seeded corpus runs in plain `go test` and CI;
+// `go test -fuzz=FuzzSpecCostInvariance` explores further.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"histwalk/internal/graph"
+	"histwalk/internal/registry"
+)
+
+func FuzzSpecCostInvariance(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(40), uint8(4), uint8(0))
+	f.Add(int64(2), uint8(0), uint8(90), uint8(1), uint8(1))
+	f.Add(int64(77), uint8(6), uint8(25), uint8(7), uint8(3))
+	f.Add(int64(-5), uint8(8), uint8(60), uint8(3), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, walkerIdx, budgetRaw, chainsRaw, workersRaw uint8) {
+		names := registry.WalkerNames()
+		name := names[int(walkerIdx)%len(names)]
+		factory, err := registry.WalkerByName(name, registry.WalkerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gRng := rand.New(rand.NewSource(seed))
+		g := graph.ErdosRenyi(50, 0.15, gRng).LargestComponent()
+		if g.NumNodes() < 3 {
+			t.Skip("degenerate graph")
+		}
+		vals := make([]float64, g.NumNodes())
+		for v := range vals {
+			vals[v] = float64((v*7 + 1) % 23)
+		}
+		if err := g.SetAttr("reviews_count", vals); err != nil {
+			t.Fatal(err)
+		}
+		budget := 2 + int(budgetRaw)%40
+		chains := 1 + int(chainsRaw)%6
+		workers := int(workersRaw) % 5 // 0 = one per chain
+		mk := func(cache CachePolicy) Spec {
+			return Spec{
+				Graph:   g,
+				Walker:  factory,
+				Budget:  budget,
+				Chains:  chains,
+				Workers: workers,
+				Cache:   cache,
+				Seed:    seed,
+			}
+		}
+		iso, err := Run(context.Background(), mk(CacheIsolated))
+		if err != nil {
+			t.Fatalf("%s isolated: %v", name, err)
+		}
+		shared, err := Run(context.Background(), mk(CacheShared))
+		if err != nil {
+			t.Fatalf("%s shared: %v", name, err)
+		}
+		// Chain-local content is cache-policy-invariant.
+		if iso.TotalQueries != shared.TotalQueries || iso.TotalSteps != shared.TotalSteps {
+			t.Fatalf("%s: totals diverged across cache policies: queries %d vs %d, steps %d vs %d",
+				name, iso.TotalQueries, shared.TotalQueries, iso.TotalSteps, shared.TotalSteps)
+		}
+		for c := range iso.Chains {
+			ic, sc := iso.Chains[c], shared.Chains[c]
+			if ic.Queries != sc.Queries || ic.Steps != sc.Steps || ic.Start != sc.Start || ic.Samples != sc.Samples {
+				t.Fatalf("%s chain %d diverged across cache policies: %+v vs %+v", name, c, ic, sc)
+			}
+		}
+		for e := range iso.Estimates {
+			for c := range iso.Estimates[e].PerChain {
+				if iso.Estimates[e].PerChain[c] != shared.Estimates[e].PerChain[c] {
+					t.Fatalf("%s estimate %d chain %d diverged across cache policies", name, e, c)
+				}
+			}
+		}
+		// Shared ledger balances under the unique-query cost model.
+		if got := shared.GlobalQueries + shared.CrossChainHits; got != shared.TotalQueries {
+			t.Fatalf("%s: ledger imbalance: global %d + hits %d != total %d",
+				name, shared.GlobalQueries, shared.CrossChainHits, shared.TotalQueries)
+		}
+		// Run and the incremental Session agree chain for chain.
+		sess, err := NewSession(mk(CacheIsolated))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, ok, err := sess.Next()
+			if err != nil {
+				t.Fatalf("%s session: %v", name, err)
+			}
+			if !ok {
+				break
+			}
+		}
+		sres, err := sess.Result()
+		if err != nil {
+			t.Fatalf("%s session result: %v", name, err)
+		}
+		if sres.TotalQueries != iso.TotalQueries || sres.TotalSteps != iso.TotalSteps {
+			t.Fatalf("%s: Session totals diverged from Run: queries %d vs %d, steps %d vs %d",
+				name, sres.TotalQueries, iso.TotalQueries, sres.TotalSteps, iso.TotalSteps)
+		}
+		for e := range iso.Estimates {
+			if sres.Estimates[e].Point != iso.Estimates[e].Point {
+				t.Fatalf("%s: Session estimate %d diverged from Run", name, e)
+			}
+		}
+	})
+}

@@ -17,6 +17,15 @@
 // restrictive OSN interface and a query budget, get back an unbiased
 // estimate with a confidence interval and exact query-cost accounting,
 // with no hand-written step/burn-in/budget loop.
+//
+// Chains run on the zero-allocation walk hot path (see internal/core):
+// each chain's walker holds its own scratch buffers and reads
+// neighborhoods through access.Client.NeighborsAppend, and the chain's
+// per-step measurement reuses the chainRun scratch, so a steady-state
+// transition allocates only when a retained sample is appended. A Spec
+// with a custom Client must satisfy the NeighborsAppend contract
+// (stable neighbor order, caller-owned buffers) for chains to behave
+// deterministically.
 package session
 
 import (
