@@ -7,14 +7,23 @@
 //   - FAILS (exit 1) if any step benchmark exceeds the baseline's
 //     max_allocs_per_step gate — the zero-allocation hot path is a
 //     tested contract, not an aspiration;
+//   - FAILS (exit 1) if any step benchmark exceeds the baseline's
+//     max_b_per_step bytes-per-op gate, when the baseline sets one —
+//     B/op is host-independent like allocs/op, and catching byte
+//     regressions catches the "amortized history grew" class of bug
+//     that a pure allocation count misses;
 //   - prints each walker's ns/op and steps/sec next to the baseline
 //     recorded in BENCH_core.json, with the delta, so CI logs show at a
 //     glance whether the step path got slower (ns/op itself is not
-//     gated: it is host-dependent).
+//     gated: it is host-dependent);
+//   - when BenchmarkBatchedChains results are on stdin, additionally
+//     prints the aggregate multi-chain steps/sec per walker and K, and
+//     the batched-vs-sequential speedup for every pair present (also
+//     not gated: it is a throughput report, not a contract).
 //
 // Usage:
 //
-//	go test -run xxx -bench WalkStep -benchmem -benchtime 1000000x . | go run ./cmd/benchgate -baseline BENCH_core.json
+//	go test -run xxx -bench 'WalkStep|BatchedChains' -benchmem -benchtime 1000000x . | go run ./cmd/benchgate -baseline BENCH_core.json
 package main
 
 import (
@@ -33,9 +42,12 @@ import (
 type baselineFile struct {
 	Gate struct {
 		MaxAllocsPerStep float64 `json:"max_allocs_per_step"`
+		// MaxBPerStep gates bytes per op; 0 (absent) disables the gate.
+		MaxBPerStep float64 `json:"max_b_per_step"`
 	} `json:"gate"`
 	Benchmarks map[string]struct {
 		NsPerOp       float64 `json:"ns_per_op"`
+		BPerOp        float64 `json:"b_per_op"`
 		AllocsPerOp   float64 `json:"allocs_per_op"`
 		BeforeNsPerOp float64 `json:"before_ns_per_op,omitempty"`
 	} `json:"benchmarks"`
@@ -45,6 +57,7 @@ type baselineFile struct {
 type result struct {
 	name    string // normalized, e.g. "BenchmarkWalkStep/CNRW"
 	nsPerOp float64
+	bytes   float64
 	allocs  float64
 	hasMem  bool
 }
@@ -76,6 +89,10 @@ func parseBench(r io.Reader) ([]result, error) {
 		}
 		res := result{name: name, nsPerOp: ns}
 		if m[4] != "" {
+			res.bytes, err = strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad B/op in %q: %v", sc.Text(), err)
+			}
 			res.allocs, err = strconv.ParseFloat(m[4], 64)
 			if err != nil {
 				return nil, fmt.Errorf("benchgate: bad allocs/op in %q: %v", sc.Text(), err)
@@ -135,6 +152,9 @@ func run(in io.Reader, out io.Writer, baselinePath, prefix string) (failures int
 		} else if r.allocs > gate {
 			failures++
 			line += fmt.Sprintf("   ALLOC GATE FAILED: %.1f allocs/op > %.1f", r.allocs, gate)
+		} else if bGate := base.Gate.MaxBPerStep; bGate > 0 && r.bytes > bGate {
+			failures++
+			line += fmt.Sprintf("   BYTES GATE FAILED: %.1f B/op > %.1f", r.bytes, bGate)
 		} else {
 			line += fmt.Sprintf("   allocs/op %.0f <= %.0f ok", r.allocs, gate)
 		}
@@ -143,7 +163,55 @@ func run(in io.Reader, out io.Writer, baselinePath, prefix string) (failures int
 	if matched == 0 {
 		return 1, fmt.Errorf("benchgate: no %s* results on stdin (did the bench run?)", prefix)
 	}
+	reportBatched(out, &base, results)
 	return failures, nil
+}
+
+// batchedPrefix marks the multi-chain throughput benchmarks; their
+// names are BenchmarkBatchedChains/<walker>/K=<k>/<seq|batched>.
+const batchedPrefix = "BenchmarkBatchedChains/"
+
+// reportBatched prints the aggregate multi-chain stepping report when
+// BenchmarkBatchedChains results are present: steps/sec per entry
+// (with the baseline delta when BENCH_core.json records one) and the
+// batched-vs-sequential speedup for every <walker>/K=<k> pair. Nothing
+// here is gated — aggregate throughput is host-dependent.
+func reportBatched(out io.Writer, base *baselineFile, results []result) {
+	byName := map[string]float64{}
+	var names []string
+	for _, r := range results {
+		if !strings.HasPrefix(r.name, batchedPrefix) {
+			continue
+		}
+		if _, seen := byName[r.name]; !seen {
+			names = append(names, r.name)
+		}
+		byName[r.name] = r.nsPerOp // repeated runs (-count): last wins
+	}
+	if len(names) == 0 {
+		return
+	}
+	fmt.Fprintln(out, "batched multi-chain stepping (aggregate, not gated):")
+	for _, name := range names {
+		ns := byName[name]
+		line := fmt.Sprintf("%-46s %10.1f ns/op %14.0f steps/sec", name, ns, stepsPerSec(ns))
+		if b, ok := base.Benchmarks[name]; ok && b.NsPerOp > 0 {
+			line += fmt.Sprintf("   baseline %8.1f ns/op (%+6.1f%%)", b.NsPerOp, 100*(ns-b.NsPerOp)/b.NsPerOp)
+		}
+		fmt.Fprintln(out, line)
+	}
+	for _, name := range names {
+		if !strings.HasSuffix(name, "/seq") {
+			continue
+		}
+		pair := strings.TrimSuffix(name, "/seq") + "/batched"
+		bns, ok := byName[pair]
+		if !ok || bns <= 0 {
+			continue
+		}
+		fmt.Fprintf(out, "%-46s %.2fx aggregate speedup over sequential\n",
+			strings.TrimSuffix(strings.TrimPrefix(name, batchedPrefix), "/seq"), byName[name]/bns)
+	}
 }
 
 func main() {

@@ -8,10 +8,11 @@ import (
 )
 
 const sampleBaseline = `{
-  "gate": {"max_allocs_per_step": 1},
+  "gate": {"max_allocs_per_step": 1, "max_b_per_step": 64},
   "benchmarks": {
     "BenchmarkWalkStep/SRW":  {"ns_per_op": 26.1, "allocs_per_op": 0, "before_ns_per_op": 18.0},
-    "BenchmarkWalkStep/CNRW": {"ns_per_op": 240.0, "allocs_per_op": 0, "before_ns_per_op": 695.1}
+    "BenchmarkWalkStep/CNRW": {"ns_per_op": 240.0, "allocs_per_op": 0, "before_ns_per_op": 695.1},
+    "BenchmarkBatchedChains/CNRW/K=16/batched": {"ns_per_op": 1000.0}
   }
 }`
 
@@ -60,6 +61,51 @@ func TestGateFailsOnAllocRegression(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "ALLOC GATE FAILED") {
 		t.Fatalf("failure not reported:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnByteRegression(t *testing.T) {
+	in := strings.NewReader(`BenchmarkWalkStep/CNRW-4 	 1000000	       300.0 ns/op	     120 B/op	       0 allocs/op`)
+	var out strings.Builder
+	failures, err := run(in, &out, writeBaseline(t), "BenchmarkWalkStep/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "BYTES GATE FAILED") {
+		t.Fatalf("byte regression not reported:\n%s", out.String())
+	}
+}
+
+func TestBatchedAggregateReport(t *testing.T) {
+	in := strings.NewReader(`
+BenchmarkWalkStep/SRW-8                          	 1000000	        26.29 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBatchedChains/CNRW/K=16/seq-8           	 1000000	      2400.0 ns/op	      40 B/op	       0 allocs/op
+BenchmarkBatchedChains/CNRW/K=16/batched-8       	 1000000	       960.0 ns/op	      40 B/op	       0 allocs/op
+PASS
+`)
+	var out strings.Builder
+	failures, err := run(in, &out, writeBaseline(t), "BenchmarkWalkStep/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batched entries report throughput only: their 40 B/op must not
+	// trip the step gate, which applies to the -prefix benchmarks.
+	if failures != 0 {
+		t.Fatalf("failures = %d, want 0\n%s", failures, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"batched multi-chain stepping",
+		"1041667 steps/sec", // 1e9 / 960
+		"2.50x aggregate speedup over sequential",
+		"baseline   1000.0 ns/op", // the batched baseline entry matched
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("report missing %q:\n%s", want, got)
+		}
 	}
 }
 

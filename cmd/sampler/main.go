@@ -9,6 +9,7 @@
 //	sampler -edges graph.txt -algo cnrw -budget 500
 //	sampler -dataset gplus -algo cnrw -budget 500 -chains 8 -workers 4
 //	sampler -dataset gplus -algo cnrw -budget 500 -chains 16 -shared-cache
+//	sampler -dataset gplus -algo gnrw-degree -budget 500 -chains 16 -batched
 //
 // The whole run is one declarative histwalk.Spec executed by
 // histwalk.Run. With -chains N > 1 the session runs N independent
@@ -20,7 +21,10 @@
 // estimates and per-chain budgets are bit-identical to the default
 // isolated mode, but nodes a sibling chain already fetched are free,
 // so the report shows the global network cost and the cross-chain hit
-// rate alongside the chain-local accounting.
+// rate alongside the chain-local accounting. -batched steps all chains
+// in lockstep rounds on the SoA batch stepper: every trajectory, budget
+// and estimate is bit-identical to the default per-chain mode — only
+// the aggregate throughput profile differs.
 //
 // Algorithms come from the shared registry (histwalk.WalkerNames) —
 // the same names the histwalkd service accepts in job specs. SIGINT or
@@ -54,6 +58,7 @@ func main() {
 	chains := flag.Int("chains", 1, "independent parallel walkers (each with its own budget)")
 	workers := flag.Int("workers", 0, "worker pool size for -chains > 1 (default: one per chain)")
 	sharedCache := flag.Bool("shared-cache", false, "share one crawl cache across chains (identical estimates, lower global network cost)")
+	batched := flag.Bool("batched", false, "step all chains in lockstep rounds on the batch stepper (identical results, higher aggregate throughput)")
 	flag.Parse()
 
 	if *chains < 1 {
@@ -82,6 +87,10 @@ func main() {
 	if *sharedCache {
 		cache = histwalk.CacheShared
 	}
+	stepping := histwalk.SteppingPerChain
+	if *batched {
+		stepping = histwalk.SteppingBatched
+	}
 	spec := histwalk.Spec{
 		Graph:      g,
 		Walker:     factory,
@@ -91,6 +100,7 @@ func main() {
 		BurnIn:     *burnIn,
 		Chains:     *chains,
 		Cache:      cache,
+		Stepping:   stepping,
 		Workers:    *workers,
 		Seed:       *seed,
 		Confidence: 0.95,
@@ -127,8 +137,11 @@ func main() {
 	est := res.Estimates[0]
 	fmt.Printf("algorithm        %s (estimator design: %s)\n", factory.Name, est.Design)
 	budgetLabel := ""
+	if *batched {
+		budgetLabel = ", batched stepping"
+	}
 	if interrupted {
-		budgetLabel = ", interrupted"
+		budgetLabel += ", interrupted"
 	}
 	fmt.Printf("chains           %d × budget %d (workers %s%s)\n", *chains, *budget, workersLabel(*workers), budgetLabel)
 	fmt.Printf("total steps      %d\n", res.TotalSteps)

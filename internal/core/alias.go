@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Weighted-draw structures for the samplers. Two structures with one
+// distribution but different draw→outcome mappings:
+//
+//   - AliasTable (Vose's method) draws in O(1) regardless of the number
+//     of outcomes, but its column/coin-flip construction PERMUTES which
+//     concrete outcome a given RNG state selects. That makes it illegal
+//     on every replay-compatible path: the walkers' bit-identity
+//     contract (package doc) pins the mapping from each single
+//     rng.Intn draw to the chosen neighbor position in ascending
+//     position order, which an alias draw does not preserve. AliasTable
+//     is for throughput-critical weighted sampling that is free to
+//     declare its own draw discipline (and for callers outside the
+//     replay contract entirely).
+//   - CumTable is a Fenwick-tree cumulative table: Find(x) returns the
+//     outcome owning the x-th unit of mass in index order — exactly the
+//     mapping a linear scan over the weights yields — in O(log n), with
+//     O(log n) single-weight updates. It is the drop-in accelerator for
+//     replay paths that today scan weights linearly (the frontier
+//     sampler's degree-proportional walker pick uses it).
+//
+// Both reuse their backing arrays across Rebuild calls, matching the
+// per-walker scratch discipline of the step hot path: zero allocations
+// at steady state once capacity has grown to the working size.
+
+// AliasTable samples an index in [0, n) with probability proportional
+// to the weights it was built from, in O(1) per draw (Vose's alias
+// method). Build cost is O(n); Rebuild reuses all internal storage, so
+// a caller that re-weights per shape (e.g. per node, per round
+// configuration) and caches tables in its scratch pays no steady-state
+// allocations.
+//
+// Each draw consumes exactly two RNG values (one Intn, one Float64) —
+// a different consumption pattern from the single-Intn linear scan,
+// which is the second, independent reason an AliasTable cannot replace
+// a draw on a replay-compatible path.
+type AliasTable struct {
+	prob  []float64 // acceptance threshold per column
+	alias []int32   // overflow outcome per column
+	// small/large are Rebuild worklists, retained for reuse.
+	small, large []int32
+}
+
+// NewAliasTable builds a table over weights. All weights must be >= 0
+// with a positive sum.
+func NewAliasTable(weights []float64) (*AliasTable, error) {
+	t := &AliasTable{}
+	if err := t.Rebuild(weights); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Rebuild re-initializes the table over weights, reusing all internal
+// storage (allocation-free once capacity suffices).
+func (t *AliasTable) Rebuild(weights []float64) error {
+	n := len(weights)
+	if n == 0 {
+		return fmt.Errorf("core: alias table needs at least one weight")
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("core: alias table weight %d is negative (%v)", i, w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return fmt.Errorf("core: alias table weights sum to zero")
+	}
+	t.prob = grow(t.prob, n)
+	t.alias = grow(t.alias, n)
+	t.small = t.small[:0]
+	t.large = t.large[:0]
+	// Scale each weight to mean 1 and split the columns into the
+	// under- and over-full worklists.
+	scale := float64(n) / sum
+	for i, w := range weights {
+		t.prob[i] = w * scale
+		if t.prob[i] < 1 {
+			t.small = append(t.small, int32(i))
+		} else {
+			t.large = append(t.large, int32(i))
+		}
+	}
+	// Pair each under-full column with an over-full donor.
+	for len(t.small) > 0 && len(t.large) > 0 {
+		s := t.small[len(t.small)-1]
+		t.small = t.small[:len(t.small)-1]
+		l := t.large[len(t.large)-1]
+		t.alias[s] = l
+		// Donor sheds exactly the mass that fills column s.
+		t.prob[l] -= 1 - t.prob[s]
+		if t.prob[l] < 1 {
+			t.large = t.large[:len(t.large)-1]
+			t.small = append(t.small, l)
+		}
+	}
+	// Numerical leftovers: whatever remains is exactly full.
+	for _, i := range t.small {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range t.large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return nil
+}
+
+// Len returns the number of outcomes.
+func (t *AliasTable) Len() int { return len(t.prob) }
+
+// Draw samples one outcome index, consuming one Intn and one Float64
+// from rng.
+func (t *AliasTable) Draw(rng *rand.Rand) int {
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// Mass returns the exact probability mass the table assigns to outcome
+// i (the sum of its own column's acceptance mass and every donation it
+// received), in units where the total is Len(). Tests use it to verify
+// Rebuild's exactness without sampling.
+func (t *AliasTable) Mass(i int) float64 {
+	m := t.prob[i]
+	for j, a := range t.alias {
+		if int(a) == i && t.prob[j] < 1 {
+			m += 1 - t.prob[j]
+		}
+	}
+	return m
+}
+
+// grow returns s resized to n, reusing capacity.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// CumTable is a Fenwick-tree cumulative weight table over integer
+// weights. Find(x) returns the smallest index whose cumulative weight
+// exceeds x — i.e. the owner of the x-th unit of mass in ascending
+// index order, exactly what a linear scan over the weights selects for
+// the same x. Because the mapping is identical, a CumTable can replace
+// a linear weighted scan on a replay-compatible path without changing
+// a single trajectory; it turns the O(n) scan into O(log n) and a
+// single-index re-weight into an O(log n) update.
+type CumTable struct {
+	tree []int64 // 1-based Fenwick partial sums
+	n    int
+}
+
+// NewCumTable builds a cumulative table over weights (each >= 0).
+func NewCumTable(weights []int) (*CumTable, error) {
+	t := &CumTable{}
+	if err := t.Rebuild(weights); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Rebuild re-initializes the table over weights, reusing the backing
+// array (allocation-free once capacity suffices).
+func (t *CumTable) Rebuild(weights []int) error {
+	n := len(weights)
+	if n == 0 {
+		return fmt.Errorf("core: cumulative table needs at least one weight")
+	}
+	t.n = n
+	t.tree = grow(t.tree, n+1)
+	for i := range t.tree {
+		t.tree[i] = 0
+	}
+	// O(n) Fenwick construction: seed leaves, push partial sums up.
+	for i, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("core: cumulative table weight %d is negative (%d)", i, w)
+		}
+		t.tree[i+1] += int64(w)
+		if p := i + 1 + ((i + 1) & -(i + 1)); p <= n {
+			t.tree[p] += t.tree[i+1]
+		}
+	}
+	return nil
+}
+
+// Len returns the number of outcomes.
+func (t *CumTable) Len() int { return t.n }
+
+// Total returns the sum of all weights.
+func (t *CumTable) Total() int64 {
+	var sum int64
+	for i := t.n; i > 0; i -= i & -i {
+		sum += t.tree[i]
+	}
+	return sum
+}
+
+// Get returns the current weight of index i.
+func (t *CumTable) Get(i int) int64 {
+	w := t.tree[i+1]
+	// Subtract the children folded into node i+1.
+	for j := i; j > i+1-((i+1)&-(i+1)); j -= j & -j {
+		w -= t.tree[j]
+	}
+	return w
+}
+
+// Set updates index i's weight in O(log n).
+func (t *CumTable) Set(i, w int) {
+	delta := int64(w) - t.Get(i)
+	for j := i + 1; j <= t.n; j += j & -j {
+		t.tree[j] += delta
+	}
+}
+
+// Find returns the smallest index whose cumulative weight strictly
+// exceeds x (0 <= x < Total()): the same index the linear scan
+//
+//	for i, w := range weights { if x < w { return i }; x -= w }
+//
+// selects. Zero-weight indices are never returned.
+func (t *CumTable) Find(x int64) int {
+	idx := 0
+	// Highest power of two <= n.
+	step := 1
+	for step<<1 <= t.n {
+		step <<= 1
+	}
+	for ; step > 0; step >>= 1 {
+		if next := idx + step; next <= t.n && t.tree[next] <= x {
+			idx = next
+			x -= t.tree[next]
+		}
+	}
+	return idx // 0-based: idx counts fully-skipped leaves
+}

@@ -7,59 +7,116 @@ import (
 	"histwalk/internal/graph"
 )
 
-// circulation tracks sampling-without-replacement over one neighbor
-// list: the set b(u,v) of Algorithm 1. It is stored allocation-free as
-// two reused buffers instead of the historical map: rest holds the
-// not-yet-chosen members of the current cycle in neighbor-list order,
-// done holds the members already chosen (|done| = |b(u,v)|). The
-// invariant maintained by pick is 0 <= len(done) < k; done is cleared
-// the moment the last neighbor is consumed, starting a fresh
-// circulation.
+// circTable is the arena-backed store of a walker's circulation states:
+// the sets b(u,v) of Algorithm 1, one per directed edge the walk has
+// traversed. Each edge owns one contiguous k_v-element segment of the
+// shared arena holding a permutation of N(v): the prefix [0, rest) is
+// the not-yet-chosen part of the current cycle in neighbor-list order,
+// the suffix [rest, k) the members already chosen (|b(u,v)| = k-rest,
+// most recent first). Packing every edge's state into one slab replaces
+// the historical two-heap-slices-per-edge layout: a pick touches the
+// segment header and one contiguous region instead of pointer-chasing
+// through per-edge slice headers, which is where the CNRW hot path
+// spent most of its time.
 //
-// pick draws one uniform index into rest and removes the element with
-// an order-preserving shift. That is deliberately NOT a swap-with-last
-// Fisher–Yates removal: a swap would keep the distribution but permute
-// which concrete element each draw selects, breaking bit-identity with
-// the historical map-based scan (which took the idx-th unused element
-// in neighbor-list order — exactly what the order-preserving buffer
-// yields). Same draws, same elements, zero allocations at steady state.
-type circulation struct {
-	rest []graph.Node // not yet chosen this cycle, in neighbor-list order
-	done []graph.Node // chosen this cycle, in pick order
+// pick draws one uniform index into the rest prefix and removes the
+// element with an order-preserving shift. That is deliberately NOT a
+// swap-with-last Fisher–Yates removal: a swap would keep the
+// distribution but permute which concrete element each draw selects,
+// breaking bit-identity with the historical map-based scan (which took
+// the idx-th unused element in neighbor-list order — exactly what the
+// order-preserving prefix yields). Same draws, same elements, zero
+// allocations at steady state; the arena grows only when a new edge is
+// first traversed (the amortized O(K) space of §3.3).
+type circTable struct {
+	segs  []circSeg
+	arena []graph.Node
 }
 
-// pick draws uniformly at random from ns minus the already-chosen set,
-// records the draw, and resets when the circulation completes. ns must
-// be non-empty and element-wise stable across the calls of one cycle.
-func (c *circulation) pick(rng *rand.Rand, ns []graph.Node) graph.Node {
-	if len(c.rest) == 0 || len(c.rest)+len(c.done) != len(ns) {
-		// Fresh cycle — or a defensive restart if external state made
-		// the buffers inconsistent with ns (cannot happen via pick),
-		// mirroring the historical restart-rather-than-spin behavior.
-		c.rest = append(c.rest[:0], ns...)
-		c.done = c.done[:0]
+// circSeg is one edge's segment header. rest == 0 means the cycle just
+// completed (b(u,v) = ∅); the next pick refills the prefix from ns.
+type circSeg struct {
+	off  int32
+	k    int32
+	rest int32
+}
+
+// alloc reserves a fresh segment primed with ns and returns its index.
+func (t *circTable) alloc(ns []graph.Node) int32 {
+	si := int32(len(t.segs))
+	t.segs = append(t.segs, circSeg{
+		off:  int32(len(t.arena)),
+		k:    int32(len(ns)),
+		rest: int32(len(ns)),
+	})
+	t.arena = append(t.arena, ns...)
+	return si
+}
+
+// needsFill reports whether segment si must be re-primed with the
+// candidate list before the next draw: the cycle just completed, or
+// the candidate count changed (defensive; cannot happen over a stable
+// client). Callers that derive their candidate list per step (NB-CNRW's
+// N(v)\{prev} filter) use it to build the list only when a fill is
+// actually due instead of every step.
+func (t *circTable) needsFill(si int32, k int) bool {
+	s := &t.segs[si]
+	return int(s.k) != k || s.rest == 0
+}
+
+// fill primes segment si with a fresh cycle over ns, re-pointing the
+// segment at a new arena region if the size changed (the historical
+// restart-rather-than-spin behavior).
+func (t *circTable) fill(si int32, ns []graph.Node) {
+	s := &t.segs[si]
+	if int(s.k) != len(ns) {
+		s.off = int32(len(t.arena))
+		s.k = int32(len(ns))
+		t.arena = append(t.arena, ns...)
+	} else {
+		copy(t.arena[s.off:s.off+s.k], ns)
 	}
-	idx := rng.Intn(len(c.rest))
-	chosen := c.rest[idx]
-	c.done = append(c.done, chosen)
-	c.rest = append(c.rest[:idx], c.rest[idx+1:]...)
-	if len(c.rest) == 0 {
-		c.done = c.done[:0] // full circulation completed; reset b(u,v) to ∅
-	}
+	s.rest = s.k
+}
+
+// draw takes one uniform draw from segment si's rest prefix and removes
+// the element with the order-preserving shift. The segment must be
+// primed (rest > 0).
+func (t *circTable) draw(rng *rand.Rand, si int32) graph.Node {
+	s := &t.segs[si]
+	seg := t.arena[s.off : s.off+s.k]
+	idx := int32(rng.Intn(int(s.rest)))
+	chosen := seg[idx]
+	copy(seg[idx:s.rest-1], seg[idx+1:s.rest])
+	seg[s.rest-1] = chosen
+	s.rest--
 	return chosen
 }
 
-// usedCount returns |b(u,v)| (0 after a reset).
-func (c *circulation) usedCount() int { return len(c.done) }
+// pick draws uniformly at random from ns minus the already-chosen set
+// of segment si, records the draw, and resets when the circulation
+// completes. ns must be non-empty and element-wise stable across the
+// calls of one cycle.
+func (t *circTable) pick(rng *rand.Rand, si int32, ns []graph.Node) graph.Node {
+	if t.needsFill(si, len(ns)) {
+		t.fill(si, ns)
+	}
+	return t.draw(rng, si)
+}
 
-// contains reports whether x is in b(u,v).
-func (c *circulation) contains(x graph.Node) bool {
-	for _, w := range c.done {
+// state reports the fill level |b(u,v)| of segment si and whether x is
+// currently in b(u,v).
+func (t *circTable) state(si int32, x graph.Node) (fill int, contains bool) {
+	s := t.segs[si]
+	if s.rest == 0 {
+		return 0, false // cycle boundary: b(u,v) was reset to ∅
+	}
+	for _, w := range t.arena[s.off+s.rest : s.off+s.k] {
 		if w == x {
-			return true
+			return int(s.k - s.rest), true
 		}
 	}
-	return false
+	return int(s.k - s.rest), false
 }
 
 // CNRW is the Circulated Neighbors Random Walk (Algorithm 1): a
@@ -79,7 +136,8 @@ type CNRW struct {
 	prev    graph.Node // -1 before the first transition
 	cur     graph.Node
 	steps   int
-	history map[edgeKey]*circulation
+	history map[edgeKey]int32 // directed edge → circTable segment
+	circ    circTable
 	nbuf    []graph.Node
 }
 
@@ -90,7 +148,7 @@ func NewCNRW(c access.Client, start graph.Node, rng *rand.Rand) *CNRW {
 		rng:     rng,
 		prev:    -1,
 		cur:     start,
-		history: make(map[edgeKey]*circulation),
+		history: make(map[edgeKey]int32),
 	}
 }
 
@@ -112,23 +170,11 @@ func (w *CNRW) HistorySize() int { return len(w.history) }
 // verify the per-fill-level escape hazards of Theorem 3; samplers do not
 // need it.
 func (w *CNRW) CirculationState(u, v, x graph.Node) (fill int, contains bool) {
-	c := w.history[packEdge(u, v)]
-	if c == nil {
+	si, ok := w.history[packEdge(u, v)]
+	if !ok {
 		return 0, false
 	}
-	return c.usedCount(), c.contains(x)
-}
-
-// historyFor returns the circulation bound to the directed edge
-// prev→cur, creating it on first traversal.
-func (w *CNRW) historyFor(u, v graph.Node) *circulation {
-	k := packEdge(u, v)
-	c := w.history[k]
-	if c == nil {
-		c = &circulation{}
-		w.history[k] = c
-	}
-	return c
+	return w.circ.state(si, x)
 }
 
 // Step implements Walker.
@@ -138,6 +184,13 @@ func (w *CNRW) Step() (graph.Node, error) {
 		return w.cur, err
 	}
 	w.nbuf = ns
+	return w.advanceOn(ns)
+}
+
+// advanceOn performs the CNRW transition over the already-fetched
+// neighbor list of the current node. It implements batchable: ns is
+// neither retained nor modified.
+func (w *CNRW) advanceOn(ns []graph.Node) (graph.Node, error) {
 	if len(ns) == 0 {
 		return w.cur, errDeadEnd(w.cur)
 	}
@@ -145,7 +198,13 @@ func (w *CNRW) Step() (graph.Node, error) {
 	if w.prev < 0 {
 		next = uniformPick(w.rng, ns)
 	} else {
-		next = w.historyFor(w.prev, w.cur).pick(w.rng, ns)
+		k := packEdge(w.prev, w.cur)
+		si, ok := w.history[k]
+		if !ok {
+			si = w.circ.alloc(ns)
+			w.history[k] = si
+		}
+		next = w.circ.pick(w.rng, si, ns)
 	}
 	w.prev = w.cur
 	w.cur = next
@@ -171,7 +230,8 @@ type CNRWNode struct {
 	rng     *rand.Rand
 	cur     graph.Node
 	steps   int
-	history map[graph.Node]*circulation
+	history map[graph.Node]int32
+	circ    circTable
 	nbuf    []graph.Node
 }
 
@@ -181,7 +241,7 @@ func NewCNRWNode(c access.Client, start graph.Node, rng *rand.Rand) *CNRWNode {
 		client:  c,
 		rng:     rng,
 		cur:     start,
-		history: make(map[graph.Node]*circulation),
+		history: make(map[graph.Node]int32),
 	}
 }
 
@@ -201,15 +261,22 @@ func (w *CNRWNode) Step() (graph.Node, error) {
 		return w.cur, err
 	}
 	w.nbuf = ns
+	return w.advanceOn(ns)
+}
+
+// advanceOn performs the node-keyed circulated transition over the
+// already-fetched neighbor list (batchable; ns is neither retained nor
+// modified).
+func (w *CNRWNode) advanceOn(ns []graph.Node) (graph.Node, error) {
 	if len(ns) == 0 {
 		return w.cur, errDeadEnd(w.cur)
 	}
-	c := w.history[w.cur]
-	if c == nil {
-		c = &circulation{}
-		w.history[w.cur] = c
+	si, ok := w.history[w.cur]
+	if !ok {
+		si = w.circ.alloc(ns)
+		w.history[w.cur] = si
 	}
-	w.cur = c.pick(w.rng, ns)
+	w.cur = w.circ.pick(w.rng, si, ns)
 	w.steps++
 	return w.cur, nil
 }
@@ -233,7 +300,8 @@ type NBCNRW struct {
 	prev    graph.Node
 	cur     graph.Node
 	steps   int
-	history map[edgeKey]*circulation
+	history map[edgeKey]int32
+	circ    circTable
 	nbuf    []graph.Node
 	scratch []graph.Node // candidate set N(v)\{prev}, reused
 }
@@ -246,7 +314,7 @@ func NewNBCNRW(c access.Client, start graph.Node, rng *rand.Rand) *NBCNRW {
 		rng:     rng,
 		prev:    -1,
 		cur:     start,
-		history: make(map[edgeKey]*circulation),
+		history: make(map[edgeKey]int32),
 	}
 }
 
@@ -266,6 +334,14 @@ func (w *NBCNRW) Step() (graph.Node, error) {
 		return w.cur, err
 	}
 	w.nbuf = ns
+	return w.advanceOn(ns)
+}
+
+// advanceOn performs the non-backtracking circulated transition over
+// the already-fetched neighbor list (batchable; ns is neither retained
+// nor modified — the candidate set is built in the walker's own
+// scratch).
+func (w *NBCNRW) advanceOn(ns []graph.Node) (graph.Node, error) {
 	if len(ns) == 0 {
 		return w.cur, errDeadEnd(w.cur)
 	}
@@ -276,20 +352,27 @@ func (w *NBCNRW) Step() (graph.Node, error) {
 	case len(ns) == 1:
 		next = ns[0] // forced backtrack at a degree-1 node
 	default:
-		// candidate set N(v)\{prev}
-		w.scratch = w.scratch[:0]
-		for _, u := range ns {
-			if u != w.prev {
-				w.scratch = append(w.scratch, u)
+		// The candidate set N(v)\{prev} is only materialized when the
+		// segment actually needs (re)priming — first traversal of the
+		// edge or a cycle boundary — not on every step: draws mid-cycle
+		// consume the primed prefix without reading ns at all.
+		k := packEdge(w.prev, w.cur)
+		si, ok := w.history[k]
+		if !ok || w.circ.needsFill(si, len(ns)-1) {
+			w.scratch = w.scratch[:0]
+			for _, u := range ns {
+				if u != w.prev {
+					w.scratch = append(w.scratch, u)
+				}
+			}
+			if !ok {
+				si = w.circ.alloc(w.scratch)
+				w.history[k] = si
+			} else {
+				w.circ.fill(si, w.scratch)
 			}
 		}
-		k := packEdge(w.prev, w.cur)
-		c := w.history[k]
-		if c == nil {
-			c = &circulation{}
-			w.history[k] = c
-		}
-		next = c.pick(w.rng, w.scratch)
+		next = w.circ.draw(w.rng, si)
 	}
 	w.prev = w.cur
 	w.cur = next

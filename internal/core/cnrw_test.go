@@ -239,8 +239,8 @@ func TestCirculationPickUniformity(t *testing.T) {
 	counts := make(map[graph.Node]int)
 	trials := 40000
 	for i := 0; i < trials; i++ {
-		c := &circulation{}
-		counts[c.pick(rng, ns)]++
+		var ct circTable
+		counts[ct.pick(rng, ct.alloc(ns), ns)]++
 	}
 	for _, n := range ns {
 		got := float64(counts[n]) / float64(trials)
@@ -251,9 +251,10 @@ func TestCirculationPickUniformity(t *testing.T) {
 	// After picking one, remaining three are uniform at 1/3.
 	counts = make(map[graph.Node]int)
 	for i := 0; i < trials; i++ {
-		c := &circulation{}
-		first := c.pick(rng, ns)
-		second := c.pick(rng, ns)
+		var ct circTable
+		si := ct.alloc(ns)
+		first := ct.pick(rng, si, ns)
+		second := ct.pick(rng, si, ns)
 		if second == first {
 			t.Fatal("second pick repeated the first")
 		}
@@ -279,12 +280,13 @@ func TestCirculationCycleProperty(t *testing.T) {
 			ns[i] = graph.Node(i * 3)
 		}
 		rng := rand.New(rand.NewSource(seed))
-		c := &circulation{}
+		var ct circTable
+		si := ct.alloc(ns)
 		nCycles := 1 + int(cycles%5)
 		for cyc := 0; cyc < nCycles; cyc++ {
 			seen := make(map[graph.Node]bool, size)
 			for i := 0; i < size; i++ {
-				p := c.pick(rng, ns)
+				p := ct.pick(rng, si, ns)
 				if seen[p] {
 					return false // repeat within a cycle
 				}
@@ -293,7 +295,7 @@ func TestCirculationCycleProperty(t *testing.T) {
 			if len(seen) != size {
 				return false
 			}
-			if c.usedCount() != 0 {
+			if fill, _ := ct.state(si, ns[0]); fill != 0 {
 				return false // must have reset exactly at the boundary
 			}
 		}

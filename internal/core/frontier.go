@@ -29,13 +29,18 @@ type Frontier struct {
 	// positions of the m walkers
 	walkers []graph.Node
 	// degrees of the walkers' current nodes (cached from the last
-	// neighbor query of each walker)
+	// neighbor query of each walker), mirrored into a cumulative table
+	// so the degree-proportional walker pick is O(log m) instead of a
+	// linear scan. CumTable.Find maps each draw to the same walker the
+	// historical scan selected, so trajectories are unchanged.
 	degrees []int
+	cum     *CumTable
 	cur     graph.Node
 	steps   int
 	// optional per-walker circulation state (CNRW hybrid)
 	circulate bool
-	history   map[edgeKey]*circulation
+	history   map[edgeKey]int32
+	circ      circTable
 	prev      []graph.Node
 	nbuf      []graph.Node // reused neighbor scratch (hot path, no allocs)
 }
@@ -67,7 +72,7 @@ func newFrontier(c access.Client, starts []graph.Node, rng *rand.Rand, circulate
 		circulate: circulate,
 	}
 	if circulate {
-		f.history = make(map[edgeKey]*circulation)
+		f.history = make(map[edgeKey]int32)
 		f.prev = make([]graph.Node, len(starts))
 		for i := range f.prev {
 			f.prev[i] = -1
@@ -82,6 +87,11 @@ func newFrontier(c access.Client, starts []graph.Node, rng *rand.Rand, circulate
 		}
 		f.degrees[i] = d
 	}
+	cum, err := NewCumTable(f.degrees)
+	if err != nil {
+		return nil, err
+	}
+	f.cum = cum
 	return f, nil
 }
 
@@ -112,22 +122,15 @@ func (f *Frontier) Positions() []graph.Node {
 // to its current degree, advance it one transition, and return the node
 // it arrives at.
 func (f *Frontier) Step() (graph.Node, error) {
-	total := 0
-	for _, d := range f.degrees {
-		total += d
-	}
+	total := f.cum.Total()
 	if total == 0 {
 		return f.cur, errDeadEnd(f.cur)
 	}
-	pick := f.rng.Intn(total)
-	idx := 0
-	for i, d := range f.degrees {
-		if pick < d {
-			idx = i
-			break
-		}
-		pick -= d
-	}
+	// Find maps the draw to the same walker the historical linear scan
+	// over f.degrees selected (the pick-th unit of degree mass in walker
+	// order), in O(log m).
+	pick := f.rng.Intn(int(total))
+	idx := f.cum.Find(int64(pick))
 	v := f.walkers[idx]
 	ns, err := f.client.NeighborsAppend(f.nbuf[:0], v)
 	if err != nil {
@@ -140,12 +143,12 @@ func (f *Frontier) Step() (graph.Node, error) {
 	var next graph.Node
 	if f.circulate && f.prev[idx] >= 0 {
 		k := packEdge(f.prev[idx], v)
-		circ := f.history[k]
-		if circ == nil {
-			circ = &circulation{}
-			f.history[k] = circ
+		si, ok := f.history[k]
+		if !ok {
+			si = f.circ.alloc(ns)
+			f.history[k] = si
 		}
-		next = circ.pick(f.rng, ns)
+		next = f.circ.pick(f.rng, si, ns)
 	} else {
 		next = uniformPick(f.rng, ns)
 	}
@@ -158,6 +161,7 @@ func (f *Frontier) Step() (graph.Node, error) {
 	}
 	f.walkers[idx] = next
 	f.degrees[idx] = nd
+	f.cum.Set(idx, nd)
 	f.cur = next
 	f.steps++
 	return next, nil

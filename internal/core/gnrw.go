@@ -10,15 +10,140 @@ import (
 // gnrwEdgeState is the per-directed-edge history of GNRW: b(u,v), the
 // set of successors already chosen since the last full circulation of
 // N(v), and R(u,v), the set of strata already chosen in the current
-// group round (the paper's S(u,v)). Both are stored allocation-free:
-// used is a positional bitmap parallel to N(v) — sound because a
-// client's neighbor list is element-wise stable across queries (see
-// access.Client) — and round is a bitmap over stratum ids, which the
-// Grouper contract bounds to [0, NumGroups).
+// group round (the paper's S(u,v)). All of it is stored positionally —
+// sound because a client's neighbor list is element-wise stable across
+// queries (see access.Client):
+//
+//   - gids caches the stratum of every neighbor, resolved exactly once
+//     when the edge is first traversed. Grouper assignments are
+//     deterministic, so the historical resolve-per-step pass (a map
+//     lookup per neighbor per step — the dominant cost of the old GNRW
+//     hot path) collapses to one contiguous array read.
+//   - unused holds the positions NOT yet in b(u,v), in ascending order —
+//     a packed complement of the historical used-bitmap. The candidate
+//     scan walks only live positions instead of all of N(v) with a skip
+//     branch per already-used slot, and removal is the same
+//     order-preserving shift the circulation arena uses, so ascending
+//     order (which the bit-identity contract depends on) is invariant.
+//   - remaining counts the not-yet-attempted members per stratum and is
+//     maintained incrementally (decrement on pick, restore from base at
+//     each cycle boundary) instead of recounted every step.
+//   - round is a bitmap over stratum ids; inRound counts its set bits so
+//     the all-candidates fast path is one comparison.
 type gnrwEdgeState struct {
-	used  []bool // used[i]: the i-th neighbor of v is in b(u,v)
-	nUsed int    // |b(u,v)|
-	round []bool // round[gid]: stratum chosen in the current group round
+	gids      []int32 // stratum of the i-th neighbor of v (fixed per edge)
+	unused    []int32 // positions not yet in b(u,v), ascending
+	round     []bool  // round[gid]: stratum chosen in the current group round
+	inRound   int     // number of set bits in round
+	remaining []int32 // per-stratum count of not-yet-attempted members
+	base      []int32 // full per-stratum counts (remaining at a cycle start)
+}
+
+// stratumProfile is a node's fully resolved stratum assignment: the
+// stratum of each of its neighbors in list order (gids) and the
+// per-stratum member counts (base). Both are pure functions of
+// (node, grouper) — never of walk history — and are immutable once
+// published, so the batch stepper shares one profile per node across
+// all same-grouper chains (see GNRW.shareProfiles): the first chain to
+// traverse an edge into the node resolves it, and every later init at
+// that node — another chain, or another in-edge of the same chain —
+// aliases the slices and skips the per-neighbor resolution entirely.
+type stratumProfile struct {
+	gids []int32
+	base []int32
+}
+
+// init resolves the edge's stratum assignments through the walker's
+// group cache and builds the positional state. It is called on first
+// traversal and on the defensive neighbor-list-resize restart. When the
+// walker is wired to a shared profile table, the resolved gids/base are
+// published there (and reused from there), so they must be treated as
+// immutable; the chain-private mutable state (unused, round, remaining)
+// is built per init by initDerived.
+func (st *gnrwEdgeState) init(w *GNRW, ns []graph.Node) error {
+	if p := w.profiles[w.cur]; p != nil && len(p.gids) == len(ns) {
+		st.gids = p.gids
+		st.base = p.base
+		st.initDerived()
+		return nil
+	}
+	// shared: resolved slices get published, so they must be freshly
+	// allocated — reusing st's backing arrays would let a later
+	// defensive re-init scribble over a profile other chains alias.
+	shared := w.profiles != nil
+	if shared || cap(st.gids) < len(ns) {
+		st.gids = make([]int32, len(ns))
+	}
+	st.gids = st.gids[:len(ns)]
+	maxGid := -1
+	for i, n := range ns {
+		gid, err := w.groupOf(w.cur, n)
+		if err != nil {
+			return err
+		}
+		st.gids[i] = int32(gid)
+		if gid > maxGid {
+			maxGid = gid
+		}
+	}
+	m := maxGid + 1
+	if shared || cap(st.base) < m {
+		st.base = make([]int32, m)
+	}
+	st.base = st.base[:m]
+	for g := 0; g < m; g++ {
+		st.base[g] = 0
+	}
+	for _, gid := range st.gids {
+		st.base[gid]++
+	}
+	if shared {
+		w.profiles[w.cur] = &stratumProfile{gids: st.gids, base: st.base}
+	}
+	st.initDerived()
+	return nil
+}
+
+// initDerived (re)builds the chain-private mutable state — unused,
+// round, remaining — from the immutable stratum profile (gids, base),
+// which must already be set.
+func (st *gnrwEdgeState) initDerived() {
+	if cap(st.unused) < len(st.gids) {
+		st.unused = make([]int32, len(st.gids))
+	}
+	st.refillUnused()
+	m := len(st.base)
+	if cap(st.round) < m {
+		st.round = make([]bool, m)
+		st.remaining = make([]int32, m)
+	}
+	st.round = st.round[:m]
+	st.remaining = st.remaining[:m]
+	for g := 0; g < m; g++ {
+		st.round[g] = false
+	}
+	st.inRound = 0
+	copy(st.remaining, st.base)
+}
+
+// refillUnused restores unused to every position of N(v) in ascending
+// order (the full candidate complement at a cycle start).
+func (st *gnrwEdgeState) refillUnused() {
+	st.unused = st.unused[:len(st.gids)]
+	for i := range st.unused {
+		st.unused[i] = int32(i)
+	}
+}
+
+// resetCycle starts a fresh circulation of N(v): b(u,v) and R(u,v)
+// both reset, remaining counts restored to the full per-stratum counts.
+func (st *gnrwEdgeState) resetCycle() {
+	st.refillUnused()
+	for g := range st.round {
+		st.round[g] = false
+	}
+	st.inRound = 0
+	copy(st.remaining, st.base)
 }
 
 // GNRW is the GroupBy Neighbors Random Walk (Algorithm 2): a CNRW whose
@@ -51,12 +176,17 @@ type GNRW struct {
 	history map[edgeKey]*gnrwEdgeState
 	// groupCache memoizes the stratum of each node; Grouper assignments
 	// are deterministic, so this is sound and keeps grouping O(1)
-	// amortized per step.
+	// amortized per step. The batch stepper may replace it with a table
+	// shared across same-grouper chains (see shareGroups): assignments
+	// are pure functions of the node, so sharing changes no trajectory
+	// and no query cost, it only saves duplicate resolutions.
 	groupCache map[graph.Node]int
-	// scratch buffers reused across steps (hot path, no allocs):
-	nbuf      []graph.Node
-	gids      []int // stratum of the i-th neighbor this step (-1: in b(u,v))
-	remaining []int // per-stratum count of not-yet-attempted members
+	// profiles, when non-nil, is a per-node table of resolved stratum
+	// profiles shared across same-grouper chains by the batch stepper
+	// (see shareProfiles). nil on the sequential path: index reads on a
+	// nil map are defined to miss, so init needs no guard.
+	profiles map[graph.Node]*stratumProfile
+	nbuf     []graph.Node // reused neighbor scratch (hot path, no allocs)
 }
 
 // NewGNRW returns a groupby-neighbors walk starting at start, using the
@@ -99,6 +229,29 @@ func (w *GNRW) groupOf(owner, n graph.Node) (int, error) {
 	return gid, nil
 }
 
+// shareGroups replaces the walker's group cache with a table shared
+// across chains. Only the batch stepper calls it, and only for walkers
+// whose groupers agree in name and stratum count; the caller must
+// serialize all access (batched rounds are single-goroutine).
+func (w *GNRW) shareGroups(table map[graph.Node]int) {
+	for n, gid := range w.groupCache {
+		table[n] = gid
+	}
+	w.groupCache = table
+}
+
+// shareProfiles wires the walker to a per-node stratum-profile table
+// shared across chains. Only the batch stepper calls it, alongside
+// shareGroups under the same grouper-equality keying; the caller must
+// serialize all access (batched rounds are single-goroutine). Profiles
+// are pure functions of (node, grouper) and immutable once published,
+// so sharing changes no trajectory and no query cost — it removes the
+// per-neighbor resolution work that every chain (and every further
+// in-edge of the same node) would otherwise repeat identically.
+func (w *GNRW) shareProfiles(table map[graph.Node]*stratumProfile) {
+	w.profiles = table
+}
+
 // Step implements Walker.
 func (w *GNRW) Step() (graph.Node, error) {
 	ns, err := w.client.NeighborsAppend(w.nbuf[:0], w.cur)
@@ -106,10 +259,18 @@ func (w *GNRW) Step() (graph.Node, error) {
 		return w.cur, err
 	}
 	w.nbuf = ns
+	return w.advanceOn(ns)
+}
+
+// advanceOn performs the GNRW transition over the already-fetched
+// neighbor list of the current node (batchable; ns is neither retained
+// nor modified).
+func (w *GNRW) advanceOn(ns []graph.Node) (graph.Node, error) {
 	if len(ns) == 0 {
 		return w.cur, errDeadEnd(w.cur)
 	}
 	var next graph.Node
+	var err error
 	if w.prev < 0 {
 		next = uniformPick(w.rng, ns)
 	} else {
@@ -124,89 +285,43 @@ func (w *GNRW) Step() (graph.Node, error) {
 	return w.cur, nil
 }
 
-// growInt returns s zeroed and grown to length n, reusing capacity.
-func growInt(s []int, n int) []int {
-	if cap(s) < n {
-		return make([]int, n)
-	}
-	s = s[:n]
-	for i := range s {
-		s[i] = 0
-	}
-	return s
-}
-
-// ensureRound grows st.round so gid is addressable, preserving state.
-func (st *gnrwEdgeState) ensureRound(gid int) {
-	for len(st.round) <= gid {
-		st.round = append(st.round, false)
-	}
-}
-
 // stratifiedPick performs the GNRW transition from the directed edge
 // prev→cur over the neighbor list ns of cur. The scan order, skip
 // predicates and single rng.Intn draw replicate the historical
 // map-based implementation exactly, so trajectories are bit-identical;
-// only the bookkeeping containers changed.
+// only the bookkeeping changed (stratum ids cached per edge, remaining
+// counts maintained incrementally instead of recounted per step).
 func (w *GNRW) stratifiedPick(ns []graph.Node) (graph.Node, error) {
 	key := packEdge(w.prev, w.cur)
 	st := w.history[key]
 	if st == nil {
-		st = &gnrwEdgeState{used: make([]bool, len(ns))}
-		w.history[key] = st
-	} else if len(st.used) != len(ns) {
-		// Defensive: the neighbor list changed size under us (cannot
-		// happen over a static graph); restart this edge's history.
-		st.used = make([]bool, len(ns))
-		st.nUsed = 0
-		for i := range st.round {
-			st.round[i] = false
-		}
-	}
-
-	// Resolve each not-yet-attempted neighbor's stratum and count the
-	// per-stratum remaining members (the historical counting pass, with
-	// the map swapped for positional slices).
-	if cap(w.gids) < len(ns) {
-		w.gids = make([]int, len(ns))
-	}
-	w.gids = w.gids[:len(ns)]
-	maxGid := -1
-	for i, n := range ns {
-		if st.used[i] {
-			w.gids[i] = -1
-			continue
-		}
-		gid, err := w.groupOf(w.cur, n)
-		if err != nil {
+		st = &gnrwEdgeState{}
+		if err := st.init(w, ns); err != nil {
 			return -1, err
 		}
-		w.gids[i] = gid
-		if gid > maxGid {
-			maxGid = gid
+		w.history[key] = st
+	} else if len(st.gids) != len(ns) {
+		// Defensive: the neighbor list changed size under us (cannot
+		// happen over a static graph); restart this edge's history.
+		if err := st.init(w, ns); err != nil {
+			return -1, err
 		}
 	}
-	w.remaining = growInt(w.remaining, maxGid+1)
-	for _, gid := range w.gids {
-		if gid >= 0 {
-			w.remaining[gid]++
-		}
-	}
-	st.ensureRound(maxGid)
 
 	// Candidate strata: active (non-exhausted) strata not yet chosen in
 	// the current round; reset the round when none remain.
-	totalCand := 0
-	for gid, cnt := range w.remaining {
-		if !st.round[gid] {
+	totalCand := int32(0)
+	for g, cnt := range st.remaining {
+		if !st.round[g] {
 			totalCand += cnt
 		}
 	}
 	if totalCand == 0 {
-		for gid := range st.round {
-			st.round[gid] = false
+		for g := range st.round {
+			st.round[g] = false
 		}
-		for _, cnt := range w.remaining {
+		st.inRound = 0
+		for _, cnt := range st.remaining {
 			totalCand += cnt
 		}
 	}
@@ -215,64 +330,56 @@ func (w *GNRW) stratifiedPick(ns []graph.Node) (graph.Node, error) {
 		// reset (cannot happen via stratifiedPick, which resets at the
 		// exact boundary): restart the circulation instead of panicking
 		// in rng.Intn(0).
-		for i := range st.used {
-			st.used[i] = false
-		}
-		st.nUsed = 0
-		for i, n := range ns {
-			gid, err := w.groupOf(w.cur, n)
-			if err != nil {
-				return -1, err
-			}
-			w.gids[i] = gid
-			for len(w.remaining) <= gid {
-				w.remaining = append(w.remaining, 0)
-			}
-			st.ensureRound(gid)
-			w.remaining[gid]++
-			totalCand++
-		}
+		st.resetCycle()
+		totalCand = int32(len(ns))
 	}
 
 	// Choose a stratum with probability proportional to its remaining
 	// member count, then a uniform remaining member within it. Drawing a
-	// single index in [0,totalCand) and scanning implements both choices
-	// at once: the stratum's slot mass equals its remaining count.
-	idx := w.rng.Intn(totalCand)
-	chosenPos := -1
-	for i := range ns {
-		gid := w.gids[i]
-		if gid < 0 {
-			continue // already in b(u,v)
+	// single index in [0,totalCand) and scanning candidate positions in
+	// neighbor-list order implements both choices at once: the stratum's
+	// slot mass equals its remaining count. The scan walks the packed
+	// unused list — the same positions the historical full scan visited
+	// after its used-bitmap skips, in the same ascending order — so the
+	// draw→position mapping is unchanged. With an empty round every
+	// unused position is a candidate and the drawn index indexes the
+	// list directly: O(1), and the common case right after every round
+	// reset.
+	idx := int32(w.rng.Intn(int(totalCand)))
+	chosenJ := -1
+	if st.inRound == 0 {
+		chosenJ = int(idx)
+	} else {
+		for j, pos := range st.unused {
+			if st.round[st.gids[pos]] {
+				continue // stratum already chosen this round
+			}
+			if idx == 0 {
+				chosenJ = j
+				break
+			}
+			idx--
 		}
-		if st.round[gid] {
-			continue // stratum already chosen this round
-		}
-		if idx == 0 {
-			chosenPos = i
-			break
-		}
-		idx--
 	}
-	if chosenPos < 0 {
+	if chosenJ < 0 {
 		// All active strata were in the round set (handled above by the
 		// reset), so this cannot happen; guard for safety.
 		return -1, errDeadEnd(w.cur)
 	}
 
+	chosenPos := st.unused[chosenJ]
 	chosen := ns[chosenPos]
-	st.used[chosenPos] = true
-	st.nUsed++
-	st.round[w.gids[chosenPos]] = true
-	if st.nUsed == len(ns) {
+	gid := st.gids[chosenPos]
+	copy(st.unused[chosenJ:], st.unused[chosenJ+1:])
+	st.unused = st.unused[:len(st.unused)-1]
+	st.remaining[gid]--
+	if !st.round[gid] {
+		st.round[gid] = true
+		st.inRound++
+	}
+	if len(st.unused) == 0 {
 		// Full circulation of N(v): reset b(u,v) and the round.
-		for i := range st.used {
-			st.used[i] = false
-		}
-		st.nUsed = 0
-		for i := range st.round {
-			st.round[i] = false
-		}
+		st.resetCycle()
 	}
 	return chosen, nil
 }

@@ -83,7 +83,9 @@ func waitState(t *testing.T, m *Manager, id string, want State) {
 // TestJobBitIdenticalToDirectRun is the subsystem's acceptance
 // invariant: ≥4 concurrent interleaved jobs, each with a different
 // seed, every Result bit-identical to a direct session.Run of the same
-// resolved spec.
+// resolved spec. Half the jobs opt into batched stepping over the
+// wire; their reference runs are deliberately per-chain, so the test
+// also pins the service-level interleaving-only contract.
 func TestJobBitIdenticalToDirectRun(t *testing.T) {
 	m := NewManager(Options{MaxConcurrent: 4})
 	defer shutdown(t, m)
@@ -97,6 +99,9 @@ func TestJobBitIdenticalToDirectRun(t *testing.T) {
 		if i%2 == 1 {
 			w.Cache = "shared" // interleave both cache policies
 		}
+		if i >= jobs/2 {
+			w.Stepping = "batched" // and both stepping modes
+		}
 		st, err := m.Submit(w)
 		if err != nil {
 			t.Fatal(err)
@@ -105,6 +110,7 @@ func TestJobBitIdenticalToDirectRun(t *testing.T) {
 		wg.Add(1)
 		go func(i int, w session.SpecJSON) {
 			defer wg.Done()
+			w.Stepping = "" // reference is per-chain; batched jobs must match it
 			spec, err := w.Spec()
 			if err != nil {
 				t.Error(err)

@@ -1,0 +1,277 @@
+package session
+
+// Batched-stepping acceptance at the session layer: for any Spec the
+// SteppingBatched Result must be bit-identical to the per-chain
+// Result, interruption mid-round must preserve per-chain prefixes
+// exactly, and the wire form must round-trip the mode.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"histwalk/internal/core"
+	"histwalk/internal/graph"
+)
+
+// batchedVariant flips a spec to SteppingBatched. Results carry no
+// mode marker, so DeepEqual across the two variants compares every
+// observable field — which is the whole point of these tests.
+func batchedVariant(spec Spec) Spec {
+	spec.Stepping = SteppingBatched
+	return spec
+}
+
+// TestBatchedRunMatchesSequential: Run under SteppingBatched equals
+// Run under SteppingPerChain bit-for-bit — walkers × cache policies.
+func TestBatchedRunMatchesSequential(t *testing.T) {
+	g := testGraph(t)
+	walkers := []core.Factory{
+		core.CNRWFactory(),
+		core.GNRWFactory(core.DegreeGrouper{M: 5}),
+		core.NBCNRWFactory(),
+	}
+	for _, f := range walkers {
+		for _, cache := range []CachePolicy{CacheIsolated, CacheShared} {
+			spec := baseSpec(g)
+			spec.Walker = f
+			spec.Cache = cache
+			spec.Estimators = []EstimatorSpec{
+				{Kind: AggAvgDegree},
+				{Kind: AggMean, Attr: "score"},
+			}
+			want, err := Run(context.Background(), spec)
+			if err != nil {
+				t.Fatalf("%s/cache=%d sequential: %v", f.Name, cache, err)
+			}
+			got, err := Run(context.Background(), batchedVariant(spec))
+			if err != nil {
+				t.Fatalf("%s/cache=%d batched: %v", f.Name, cache, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s/cache=%d: batched Result differs from per-chain:\n%+v\nvs\n%+v",
+					f.Name, cache, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchedSessionMatchesRun: a batched Session's Next loop and a
+// batched Drive both converge to the per-chain Run Result.
+func TestBatchedSessionMatchesRun(t *testing.T) {
+	g := testGraph(t)
+	spec := baseSpec(g)
+	want, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewSession(batchedVariant(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if !s.Done() {
+		t.Fatal("batched session not done after Next returned ok=false")
+	}
+	got, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("batched Session result differs from per-chain Run:\n%+v\nvs\n%+v", got, want)
+	}
+
+	s2, err := NewSession(batchedVariant(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	lastSpent := map[int]int{}
+	got2, err := s2.Drive(context.Background(), func(u Update) {
+		mu.Lock()
+		defer mu.Unlock()
+		if u.Spent < lastSpent[u.Chain] {
+			t.Errorf("chain %d spent went backwards: %d after %d", u.Chain, u.Spent, lastSpent[u.Chain])
+		}
+		lastSpent[u.Chain] = u.Spent
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got2) {
+		t.Fatal("batched Drive result differs from per-chain Run")
+	}
+	if len(lastSpent) != spec.Chains {
+		t.Fatalf("updates covered %d chains, want %d", len(lastSpent), spec.Chains)
+	}
+}
+
+// TestBatchedDriveCancelledKeepsPartialState mirrors the per-chain
+// cancellation matrix for batched stepping: killing the ctx mid-round
+// leaves every chain's partial trajectory identical to what sequential
+// stepping produced up to the same per-chain step count, and a resumed
+// Drive finishes to the exact uninterrupted Result.
+func TestBatchedDriveCancelledKeepsPartialState(t *testing.T) {
+	g := testGraph(t)
+	spec := baseSpec(g)
+	want, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential reference trajectories, per chain.
+	refTraj := trajectories(t, spec)
+
+	s, err := NewSession(batchedVariant(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("operator hit Ctrl-C")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	var once sync.Once
+	gotTraj := map[int][]graph.Node{}
+	steps := 0
+	_, err = s.Drive(ctx, func(u Update) {
+		gotTraj[u.Chain] = append(gotTraj[u.Chain], u.Node)
+		steps++
+		if steps >= 25 { // cancel mid-round: 25 is not a multiple of 6 chains
+			once.Do(func() { cancel(cause) })
+		}
+	})
+	if !errors.Is(err, cause) {
+		t.Fatalf("Drive err = %v, want the cancellation cause", err)
+	}
+	if s.Done() {
+		t.Fatal("session claims completion after a cancelled batched drive")
+	}
+	// Every chain's partial trajectory is a prefix of its sequential one.
+	for c, traj := range gotTraj {
+		if len(traj) > len(refTraj[c]) {
+			t.Fatalf("chain %d walked %d steps, reference only %d", c, len(traj), len(refTraj[c]))
+		}
+		for i, v := range traj {
+			if v != refTraj[c][i] {
+				t.Fatalf("chain %d diverged from sequential at step %d: %d vs %d", c, i, v, refTraj[c][i])
+			}
+		}
+	}
+
+	// Resume: the final Result is the uninterrupted one, bit-exact.
+	got, err := s.Drive(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("resumed batched result differs from uninterrupted run:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+// trajectories records each chain's full per-chain-mode node sequence
+// by driving a per-chain Session and collecting Updates.
+func trajectories(t *testing.T, spec Spec) map[int][]graph.Node {
+	t.Helper()
+	s, err := NewSession(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[int][]graph.Node{}
+	for {
+		u, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out[u.Chain] = append(out[u.Chain], u.Node)
+	}
+}
+
+// TestBatchedRejectsUnsupportedWalker: a frontier-sampler spec under
+// SteppingBatched fails at session construction with the walker named,
+// instead of running mislabeled or panicking.
+func TestBatchedRejectsUnsupportedWalker(t *testing.T) {
+	g := testGraph(t)
+	spec := baseSpec(g)
+	spec.Walker = core.FrontierFactory(3)
+	spec.Stepping = SteppingBatched
+	if _, err := NewSession(spec); err == nil {
+		t.Fatal("NewSession accepted a frontier walker under batched stepping")
+	}
+	if _, err := Run(context.Background(), spec); err == nil {
+		t.Fatal("Run accepted a frontier walker under batched stepping")
+	}
+}
+
+// TestBatchedValidate: an out-of-range stepping mode is rejected.
+func TestBatchedValidate(t *testing.T) {
+	g := testGraph(t)
+	spec := baseSpec(g)
+	spec.Stepping = SteppingMode(9)
+	if err := spec.Validate(); err == nil {
+		t.Fatal("Validate accepted an unknown stepping mode")
+	}
+}
+
+// TestWireStepping: the wire form round-trips the stepping mode and
+// rejects unknown names.
+func TestWireStepping(t *testing.T) {
+	base := SpecJSON{Dataset: "gplus", Walker: "cnrw", Budget: 40, Seed: 3}
+	for name, want := range map[string]SteppingMode{
+		"": SteppingPerChain, "per-chain": SteppingPerChain, "batched": SteppingBatched,
+	} {
+		w := base
+		w.Stepping = name
+		sp, err := w.Spec()
+		if err != nil {
+			t.Fatalf("stepping %q: %v", name, err)
+		}
+		if sp.Stepping != want {
+			t.Fatalf("stepping %q resolved to %d, want %d", name, sp.Stepping, want)
+		}
+	}
+	w := base
+	w.Stepping = "vectorized"
+	if _, err := w.Spec(); err == nil {
+		t.Fatal("wire spec accepted an unknown stepping mode")
+	}
+}
+
+// TestWireBatchedRunIdentity: the same SpecJSON resolved with and
+// without "batched" produces bit-identical Results — the wire-level
+// statement of the interleaving-only contract the service relies on.
+func TestWireBatchedRunIdentity(t *testing.T) {
+	base := SpecJSON{Dataset: "gplus", Walker: "gnrw-degree", Budget: 80, Chains: 4, Seed: 11, Cache: "shared"}
+	seq, err := base.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := base
+	bw.Stepping = "batched"
+	bat, err := bw.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(context.Background(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), bat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("wire-resolved batched Result differs from per-chain")
+	}
+}

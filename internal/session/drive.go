@@ -45,6 +45,9 @@ func (s *Session) NextContext(ctx context.Context) (u Update, ok bool, err error
 // not run concurrently with Next or with another Drive on the same
 // Session.
 func (s *Session) Drive(ctx context.Context, onUpdate func(Update)) (*Result, error) {
+	if s.batch != nil {
+		return s.driveBatched(ctx, onUpdate)
+	}
 	sp := s.sp
 	var mu sync.Mutex // serializes onUpdate across chains
 	var hook func(done, total int)
@@ -76,4 +79,27 @@ func (s *Session) Drive(ctx context.Context, onUpdate func(Update)) (*Result, er
 		return nil, err
 	}
 	return s.Result()
+}
+
+// driveBatched is Drive for SteppingBatched sessions: one goroutine
+// walks the lockstep rounds to completion, so onUpdate needs no lock
+// and the update interleaving is the deterministic round order
+// (ascending current node within each round) instead of scheduler-
+// dependent. Cancellation semantics match Drive's: the Session keeps
+// all state accumulated so far — including the position inside a
+// partially-completed round — and a later Drive with a live ctx
+// resumes exactly where it stopped.
+func (s *Session) driveBatched(ctx context.Context, onUpdate func(Update)) (*Result, error) {
+	for {
+		u, ok, err := s.NextContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return s.Result()
+		}
+		if onUpdate != nil {
+			onUpdate(u)
+		}
+	}
 }

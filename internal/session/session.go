@@ -79,6 +79,26 @@ const (
 	CacheShared
 )
 
+// SteppingMode selects how a run advances its chains.
+type SteppingMode int
+
+const (
+	// SteppingPerChain (the default) advances each chain independently:
+	// Run fans whole chains out over the worker pool, a Session rotates
+	// round-robin. It is the replay-compatible reference path.
+	SteppingPerChain SteppingMode = iota
+	// SteppingBatched advances all chains in lockstep rounds through
+	// one core.BatchStepper: each round steps every live chain once, in
+	// ascending current-node order, gathering CSR reads and reusing
+	// same-node fetches across chains. Per-chain trajectories, budget
+	// spend and query accounting are bit-identical to SteppingPerChain
+	// — only the interleaving across chains (and therefore the order of
+	// Update callbacks) changes. Batched runs are single-goroutine;
+	// Workers is ignored. Requires a walker that supports batched
+	// stepping (all registry walkers; not the frontier samplers).
+	SteppingBatched
+)
+
 // Aggregate identifies the kind of population aggregate an
 // EstimatorSpec computes.
 type Aggregate int
@@ -197,8 +217,13 @@ type Spec struct {
 	// crawl cache without changing any chain's trajectory or budget
 	// accounting; see CachePolicy.
 	Cache CachePolicy
+	// Stepping selects per-chain (default) or lockstep-batched chain
+	// advancement; see SteppingMode. The Result is bit-identical either
+	// way.
+	Stepping SteppingMode
 	// Workers caps how many chains run concurrently in Run (0 = one
-	// worker per chain). The Result is bit-identical for every value.
+	// worker per chain; ignored under SteppingBatched). The Result is
+	// bit-identical for every value.
 	Workers int
 	// Seed is the master seed; chain c runs with
 	// TrialSeed(Seed, Stream, c).
@@ -273,6 +298,11 @@ func (s Spec) Validate() error {
 		}
 	default:
 		return fmt.Errorf("session: unknown cache policy %d", int(s.Cache))
+	}
+	switch s.Stepping {
+	case SteppingPerChain, SteppingBatched:
+	default:
+		return fmt.Errorf("session: unknown stepping mode %d", int(s.Stepping))
 	}
 	switch s.Design {
 	case DesignAuto, DesignDegreeProportional, DesignUniform:
@@ -463,6 +493,9 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if sp.Stepping == SteppingBatched {
+		return runBatched(ctx, sp)
+	}
 	chains := make([]*chainRun, sp.Chains)
 	var hook func(done, total int)
 	if sp.Progress != nil {
@@ -483,6 +516,30 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	return merge(sp, chains)
+}
+
+// runBatched executes a normalized batched spec: one goroutine drives
+// all chains in lockstep rounds to completion. The Result is
+// bit-identical to the per-chain path's for the same Spec (minus
+// Stepping). Cancellation is honored between transitions and reports
+// the ctx cause.
+func runBatched(ctx context.Context, sp *Spec) (*Result, error) {
+	s, err := newSession(sp)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
+		_, ok, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return merge(sp, s.chains)
+		}
+	}
 }
 
 // Update reports one Session transition.
@@ -511,6 +568,9 @@ type Session struct {
 	chains   []*chainRun
 	cursor   int
 	reported bool // final Progress callback already delivered
+	// batch drives the chains in lockstep rounds when the spec selects
+	// SteppingBatched; nil on the per-chain path.
+	batch *core.BatchStepper
 }
 
 // NewSession validates the spec and prepares its chains without
@@ -520,6 +580,11 @@ func NewSession(spec Spec) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newSession(sp)
+}
+
+// newSession builds a Session over an already-normalized spec.
+func newSession(sp *Spec) (*Session, error) {
 	s := &Session{sp: sp, chains: make([]*chainRun, sp.Chains)}
 	for c := range s.chains {
 		cr, err := newChain(sp, c)
@@ -528,12 +593,34 @@ func NewSession(spec Spec) (*Session, error) {
 		}
 		s.chains[c] = cr
 	}
+	if sp.Stepping == SteppingBatched {
+		bc := make([]core.BatchChain, len(s.chains))
+		for c, cr := range s.chains {
+			bc[c] = core.BatchChain{Walker: cr.walker, Client: cr.client}
+		}
+		// Graph mode: every chain's client wraps the one spec graph
+		// (private Simulators or shared-cache Views), so rows are
+		// element-wise identical across chains and same-node fetches may
+		// be shared. A live Client's row stability across chains is not
+		// ours to assert (and Client mode is single-chain anyway).
+		b, err := core.NewBatchStepper(bc, core.BatchOptions{ShareRows: sp.Graph != nil})
+		if err != nil {
+			return nil, fmt.Errorf("session: %w", err)
+		}
+		s.batch = b
+	}
 	return s, nil
 }
 
 // Next performs one transition on the next active chain. ok is false
 // once every chain has finished its budget (the Update is then zero).
+// Under SteppingBatched the "next" chain is the next slot of the
+// current lockstep round instead of the round-robin cursor; each
+// chain's own sequence of Updates is identical either way.
 func (s *Session) Next() (u Update, ok bool, err error) {
+	if s.batch != nil {
+		return s.nextBatched()
+	}
 	n := len(s.chains)
 	for scanned := 0; scanned < n; {
 		cr := s.chains[s.cursor]
@@ -564,6 +651,49 @@ func (s *Session) Next() (u Update, ok bool, err error) {
 		s.sp.Progress(s.snapshot())
 	}
 	return Update{}, false, nil
+}
+
+// nextBatched performs one transition through the batch stepper,
+// opening a fresh lockstep round (gating every chain first) whenever
+// the current one is drained. Because a chain's gate depends only on
+// its own state — which sibling steps never touch — gating at round
+// boundaries is equivalent to the per-chain path's gate-before-step,
+// and each chain's trajectory, budget spend and Updates are
+// bit-identical to per-chain stepping.
+func (s *Session) nextBatched() (Update, bool, error) {
+	for {
+		c, v, ok, err := s.batch.StepNext()
+		if ok {
+			cr := s.chains[c]
+			u, stepped, ferr := cr.finish(s.sp, v, err)
+			if cr.done {
+				s.batch.Deactivate(c)
+			}
+			if ferr != nil {
+				return Update{}, false, ferr
+			}
+			if !stepped { // clean end (e.g. budget-exhausted client)
+				continue
+			}
+			if s.sp.Progress != nil {
+				s.sp.Progress(s.snapshot())
+			}
+			return u, true, nil
+		}
+		// Round drained: re-gate every chain, then open the next round.
+		for c, cr := range s.chains {
+			if !cr.gate(s.sp) {
+				s.batch.Deactivate(c)
+			}
+		}
+		if s.batch.BeginRound() == 0 {
+			if s.sp.Progress != nil && !s.reported {
+				s.reported = true
+				s.sp.Progress(s.snapshot())
+			}
+			return Update{}, false, nil
+		}
+	}
 }
 
 // Done reports whether every chain has finished.
@@ -710,20 +840,40 @@ func (cr *chainRun) spend(sp *Spec) int {
 	return cr.client.QueryCost() - cr.base
 }
 
+// gate checks the chain's stop conditions before a transition,
+// marking it done when the budget or step cap is spent; it reports
+// whether the chain may step. A gate decision depends only on the
+// chain's own state, so gating all chains at a batched round boundary
+// is equivalent to gating each immediately before its step.
+func (cr *chainRun) gate(sp *Spec) bool {
+	if cr.done {
+		return false
+	}
+	if cr.spend(sp) >= sp.Budget || cr.steps >= sp.MaxSteps {
+		cr.done = true
+		return false
+	}
+	return true
+}
+
 // advance performs one transition if the chain is still inside its
 // budget and step cap; otherwise it marks the chain done. stepped
 // reports whether a transition actually happened. A budget-exhausted
 // error from the client (access.Budgeted in Client mode) ends the
 // chain cleanly.
 func (cr *chainRun) advance(sp *Spec) (u Update, stepped bool, err error) {
-	if cr.done {
-		return Update{}, false, nil
-	}
-	if cr.spend(sp) >= sp.Budget || cr.steps >= sp.MaxSteps {
-		cr.done = true
+	if !cr.gate(sp) {
 		return Update{}, false, nil
 	}
 	v, err := cr.walker.Step()
+	return cr.finish(sp, v, err)
+}
+
+// finish applies the post-transition bookkeeping shared by the
+// per-chain and batched paths: error classification, measurement,
+// sample retention and the saturation stops. v and err are the step's
+// outcome (the walker's Step, or the batch stepper's StepNext).
+func (cr *chainRun) finish(sp *Spec, v graph.Node, err error) (Update, bool, error) {
 	if err != nil {
 		if errors.Is(err, access.ErrBudgetExhausted) {
 			cr.done = true

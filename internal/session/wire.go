@@ -56,6 +56,10 @@ type SpecJSON struct {
 	// execution itself (its scaling axis is concurrent jobs, and it
 	// drives chains interleaved so running estimates stay consistent).
 	Cache string `json:"cache,omitempty"`
+	// Stepping selects chain advancement: "per-chain" (default) or
+	// "batched" (lockstep rounds over one batch stepper; bit-identical
+	// results, different throughput profile).
+	Stepping string `json:"stepping,omitempty"`
 	// Seed is the master seed (also seeds the dataset construction).
 	Seed int64 `json:"seed"`
 	// Stream is an optional seed-stream label, hashed with
@@ -174,6 +178,18 @@ func cachePolicyByName(name string) (CachePolicy, error) {
 	}
 }
 
+// steppingByName resolves the wire stepping-mode name.
+func steppingByName(name string) (SteppingMode, error) {
+	switch strings.ToLower(name) {
+	case "", "per-chain", "perchain":
+		return SteppingPerChain, nil
+	case "batched":
+		return SteppingBatched, nil
+	default:
+		return 0, fmt.Errorf("session: unknown stepping mode %q (use per-chain or batched)", name)
+	}
+}
+
 // costModelByName resolves the wire cost-model name.
 func costModelByName(name string) (engine.CostModel, error) {
 	switch strings.ToLower(name) {
@@ -223,6 +239,10 @@ func (w SpecJSON) Spec() (Spec, error) {
 	if err != nil {
 		return Spec{}, err
 	}
+	stepping, err := steppingByName(w.Stepping)
+	if err != nil {
+		return Spec{}, err
+	}
 	cost, err := costModelByName(w.Cost)
 	if err != nil {
 		return Spec{}, err
@@ -255,6 +275,7 @@ func (w SpecJSON) Spec() (Spec, error) {
 		Thin:       w.Thin,
 		Chains:     w.Chains,
 		Cache:      cache,
+		Stepping:   stepping,
 		Seed:       w.Seed,
 		Stream:     stream,
 		Confidence: w.Confidence,

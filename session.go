@@ -29,6 +29,9 @@ type (
 	// CachePolicy selects how a Spec's chains' query caches relate:
 	// isolated per-chain caches or one shared cross-chain crawl cache.
 	CachePolicy = session.CachePolicy
+	// SteppingMode selects per-chain or lockstep-batched chain
+	// advancement for a Spec; Results are bit-identical either way.
+	SteppingMode = session.SteppingMode
 	// Result is the outcome of a sampling run: pooled and per-chain
 	// estimates with confidence intervals, plus exact query-cost
 	// accounting.
@@ -69,6 +72,17 @@ const (
 	// reports the strictly smaller global network cost and the
 	// cross-chain hit rate.
 	CacheShared = session.CacheShared
+)
+
+// Stepping modes for Spec.Stepping.
+const (
+	// SteppingPerChain advances each chain independently (the default,
+	// replay-compatible reference path).
+	SteppingPerChain = session.SteppingPerChain
+	// SteppingBatched advances all chains in lockstep rounds through a
+	// structure-of-arrays batch stepper: same trajectories and costs,
+	// higher aggregate multi-chain throughput.
+	SteppingBatched = session.SteppingBatched
 )
 
 // Design choices for Spec.Design.
