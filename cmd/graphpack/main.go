@@ -1,0 +1,226 @@
+// Command graphpack converts text edge lists into the .hwg binary
+// graph store format, verifies existing stores, prints their header
+// stats, and generates synthetic edge-list streams for scale testing.
+//
+// Usage:
+//
+//	graphpack pack -in edges.txt[.gz] -out graph.hwg [-name yelp]
+//	               [-attr reviews_count=reviews.txt] [-chunk-arcs N] [-tmp DIR]
+//	graphpack verify graph.hwg
+//	graphpack info graph.hwg
+//	graphpack gen -nodes 1000000 -edges 10000000 -seed 1 [-out edges.txt]
+//
+// pack streams the input through an external sort, so memory use is
+// bounded by -chunk-arcs (default 4Mi arcs ≈ 64 MiB) plus one int64
+// per distinct node — a 100M-edge list packs in well under a gigabyte.
+// Gzip input is detected by magic bytes. The resulting file is
+// byte-identical to loading the same list in memory and writing it,
+// and walks over it (mmap) are bit-identical to walks over the heap
+// graph.
+//
+// verify runs the full integrity pass: header checksum, section
+// checksums, and the CSR invariants (strictly sorted rows, symmetric
+// arcs, the loop-stored-once self-loop convention).
+//
+// gen emits a deterministic pseudo-random edge list (GNM-style
+// endpoint pairs) as a stream — O(1) memory regardless of -edges — to
+// feed pack in scale tests without materializing a text file first.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"histwalk"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "graphpack:", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches the subcommand; it is the testable seam.
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: graphpack <pack|verify|info|gen> [flags]")
+	}
+	switch args[0] {
+	case "pack":
+		return runPack(args[1:], out)
+	case "verify":
+		return runVerify(args[1:], out)
+	case "info":
+		return runInfo(args[1:], out)
+	case "gen":
+		return runGen(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (use pack, verify, info or gen)", args[0])
+	}
+}
+
+// attrFlags collects repeated -attr name=file pairs.
+type attrFlags map[string]string
+
+func (a attrFlags) String() string { return "" }
+func (a attrFlags) Set(s string) error {
+	name, file, ok := strings.Cut(s, "=")
+	if !ok || name == "" || file == "" {
+		return fmt.Errorf("want -attr name=file, got %q", s)
+	}
+	if _, dup := a[name]; dup {
+		return fmt.Errorf("attribute %q given twice", name)
+	}
+	a[name] = file
+	return nil
+}
+
+func runPack(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("graphpack pack", flag.ContinueOnError)
+	in := fs.String("in", "", "input edge list (.txt or .gz; \"-\" = stdin)")
+	outPath := fs.String("out", "", "output .hwg path")
+	name := fs.String("name", "", "dataset name recorded in the header")
+	chunkArcs := fs.Int("chunk-arcs", 0, "in-memory sort buffer in arcs (0 = 4Mi; the memory bound)")
+	tmp := fs.String("tmp", "", "spill directory (default: system temp)")
+	attrs := attrFlags{}
+	fs.Var(attrs, "attr", "attach a per-node attribute: name=file (\"node value\" lines, dense IDs; repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *outPath == "" {
+		return fmt.Errorf("pack requires -in and -out")
+	}
+
+	var edges io.Reader
+	if *in == "-" {
+		edges = os.Stdin
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		edges = f
+	}
+	opts := histwalk.PackOptions{Name: *name, ChunkArcs: *chunkArcs, TmpDir: *tmp}
+	if len(attrs) > 0 {
+		opts.Attrs = make(map[string]io.Reader, len(attrs))
+		for aname, afile := range attrs {
+			f, err := os.Open(afile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			opts.Attrs[aname] = f
+		}
+	}
+	stats, err := histwalk.PackEdgeList(edges, *outPath, opts)
+	if err != nil {
+		return err
+	}
+	fi, err := os.Stat(*outPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "packed %s: %d nodes, %d edges (%d self-loops), %d lines read, %d spill runs, %d bytes\n",
+		*outPath, stats.NumNodes, stats.NumEdges, stats.NumSelfLoops, stats.LinesRead, stats.Runs, fi.Size())
+	return nil
+}
+
+func runVerify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("graphpack verify", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: graphpack verify <file.hwg>")
+	}
+	path := fs.Arg(0)
+	if err := histwalk.VerifyGraphStore(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: OK (header, checksums and CSR invariants verified)\n", path)
+	return nil
+}
+
+func runInfo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("graphpack info", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: graphpack info <file.hwg>")
+	}
+	path := fs.Arg(0)
+	m, err := histwalk.OpenGraphStore(path)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "file        %s (%d bytes)\n", path, fi.Size())
+	fmt.Fprintf(out, "name        %s\n", m.Name())
+	fmt.Fprintf(out, "nodes       %d\n", m.NumNodes())
+	fmt.Fprintf(out, "edges       %d (self-loops: %d)\n", m.NumEdges(), m.NumSelfLoops())
+	if n := m.NumNodes(); n > 0 {
+		fmt.Fprintf(out, "avg degree  %.2f\n", float64(2*m.NumEdges()-m.NumSelfLoops())/float64(n))
+	}
+	if names := m.AttrNames(); len(names) > 0 {
+		fmt.Fprintf(out, "attributes  %s\n", strings.Join(names, ", "))
+	}
+	return nil
+}
+
+func runGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("graphpack gen", flag.ContinueOnError)
+	nodes := fs.Int64("nodes", 0, "node ID space size")
+	edges := fs.Int64("edges", 0, "edge lines to emit (duplicates possible; pack dedups)")
+	seed := fs.Int64("seed", 1, "random seed (the stream is deterministic in it)")
+	outPath := fs.String("out", "", "output file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nodes < 2 || *edges < 1 {
+		return fmt.Errorf("gen requires -nodes >= 2 and -edges >= 1")
+	}
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return genEdges(w, *nodes, *edges, *seed)
+}
+
+// genEdges streams a deterministic GNM-style random edge list: each
+// line joins node i (a shifted ramp, guaranteeing every ID appears and
+// the graph stays near-connected) to a uniform random partner. O(1)
+// memory, so arbitrarily large inputs can feed pack's external sort.
+func genEdges(w io.Writer, nodes, edges, seed int64) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Fprintf(bw, "# graphpack gen nodes=%d edges=%d seed=%d\n", nodes, edges, seed)
+	for e := int64(0); e < edges; e++ {
+		u := e % nodes
+		v := rng.Int63n(nodes)
+		if u == v {
+			v = (v + 1) % nodes
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

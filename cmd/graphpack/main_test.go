@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runOK runs a graphpack subcommand and returns its stdout.
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("graphpack %v: %v", args, err)
+	}
+	return out.String()
+}
+
+func TestGenPackVerifyInfo(t *testing.T) {
+	dir := t.TempDir()
+	edges := filepath.Join(dir, "edges.txt")
+	hwg := filepath.Join(dir, "g.hwg")
+
+	runOK(t, "gen", "-nodes", "500", "-edges", "3000", "-seed", "4", "-out", edges)
+	packOut := runOK(t, "pack", "-in", edges, "-out", hwg, "-name", "gen500", "-chunk-arcs", "512")
+	if !strings.Contains(packOut, "500 nodes") {
+		t.Fatalf("pack output: %q", packOut)
+	}
+	if out := runOK(t, "verify", hwg); !strings.Contains(out, "OK") {
+		t.Fatalf("verify output: %q", out)
+	}
+	info := runOK(t, "info", hwg)
+	for _, want := range []string{"gen500", "nodes       500", "avg degree"} {
+		if !strings.Contains(info, want) {
+			t.Fatalf("info output missing %q:\n%s", want, info)
+		}
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	a := runOK(t, "gen", "-nodes", "50", "-edges", "200", "-seed", "9")
+	b := runOK(t, "gen", "-nodes", "50", "-edges", "200", "-seed", "9")
+	if a != b {
+		t.Fatal("gen is not deterministic in its seed")
+	}
+	c := runOK(t, "gen", "-nodes", "50", "-edges", "200", "-seed", "10")
+	if a == c {
+		t.Fatal("gen ignores its seed")
+	}
+	for _, line := range strings.Split(strings.TrimSpace(a), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 || f[0] == f[1] {
+			t.Fatalf("bad gen line %q", line)
+		}
+	}
+}
+
+func TestPackWithAttr(t *testing.T) {
+	dir := t.TempDir()
+	edges := filepath.Join(dir, "e.txt")
+	attr := filepath.Join(dir, "a.txt")
+	hwg := filepath.Join(dir, "g.hwg")
+	if err := os.WriteFile(edges, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(attr, []byte("0 5\n1 6\n2 7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runOK(t, "pack", "-in", edges, "-out", hwg, "-attr", "score="+attr)
+	if info := runOK(t, "info", hwg); !strings.Contains(info, "attributes  score") {
+		t.Fatalf("info output missing attribute:\n%s", info)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"no-subcommand", nil},
+		{"unknown-subcommand", []string{"bogus"}},
+		{"pack-missing-flags", []string{"pack"}},
+		{"pack-missing-input", []string{"pack", "-in", filepath.Join(dir, "nope.txt"), "-out", filepath.Join(dir, "o.hwg")}},
+		{"pack-dup-attr", []string{"pack", "-in", "-", "-out", filepath.Join(dir, "o.hwg"), "-attr", "a=x", "-attr", "a=y"}},
+		{"verify-no-arg", []string{"verify"}},
+		{"verify-missing-file", []string{"verify", filepath.Join(dir, "nope.hwg")}},
+		{"info-no-arg", []string{"info"}},
+		{"gen-bad-nodes", []string{"gen", "-nodes", "1", "-edges", "5"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err == nil {
+				t.Fatalf("graphpack %v succeeded, want error", tc.args)
+			}
+		})
+	}
+}

@@ -8,6 +8,13 @@
 //	graphstat                      # all built-in datasets (default scale)
 //	graphstat -dataset yelp -n 6000
 //	graphstat -edges graph.txt
+//	graphstat -store graph.hwg     # packed binary store, streamed via mmap
+//
+// -store opens a packed .hwg graph store through the mmap backend and
+// computes the statistics over a zero-copy view of the mapping — no
+// text parse, no heap copy of the adjacency, so stats on a packed
+// multi-gigabyte graph start instantly and stay within a small
+// constant of resident heap.
 package main
 
 import (
@@ -23,12 +30,27 @@ import (
 func main() {
 	datasetName := flag.String("dataset", "", "single built-in dataset (default: all)")
 	edges := flag.String("edges", "", "edge-list file (overrides -dataset)")
+	store := flag.String("store", "", ".hwg graph store, streamed via mmap (overrides -dataset)")
 	n := flag.Int("n", 0, "scale override for gplus/yelp/youtube (0 = default)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
 	var graphs []*histwalk.Graph
 	switch {
+	case *store != "":
+		m, err := histwalk.OpenGraphStore(*store)
+		if err != nil {
+			fail(err)
+		}
+		defer m.Close()
+		g, err := m.Graph() // zero-copy view over the mapping
+		if err != nil {
+			fail(err)
+		}
+		if g.Name() == "" {
+			g.SetName(*store)
+		}
+		graphs = []*histwalk.Graph{g}
 	case *edges != "":
 		f, err := os.Open(*edges)
 		if err != nil {

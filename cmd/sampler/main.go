@@ -7,6 +7,7 @@
 //
 //	sampler -dataset yelp -algo gnrw-reviews -budget 1000 -attr reviews_count
 //	sampler -edges graph.txt -algo cnrw -budget 500
+//	sampler -store graph.hwg -algo cnrw -budget 500
 //	sampler -dataset gplus -algo cnrw -budget 500 -chains 8 -workers 4
 //	sampler -dataset gplus -algo cnrw -budget 500 -chains 16 -shared-cache
 //	sampler -dataset gplus -algo gnrw-degree -budget 500 -chains 16 -batched
@@ -25,6 +26,12 @@
 // in lockstep rounds on the SoA batch stepper: every trajectory, budget
 // and estimate is bit-identical to the default per-chain mode — only
 // the aggregate throughput profile differs.
+//
+// -store samples a packed .hwg binary graph store through the mmap
+// backend: the walk starts without a text parse and the adjacency
+// stays out of the heap, while every trajectory and estimate is
+// bit-identical to sampling the equivalent in-memory graph (ground
+// truth is read from a zero-copy view of the same mapping).
 //
 // Algorithms come from the shared registry (histwalk.WalkerNames) —
 // the same names the histwalkd service accepts in job specs. SIGINT or
@@ -48,6 +55,7 @@ import (
 func main() {
 	datasetName := flag.String("dataset", "facebook", "built-in dataset: "+strings.Join(histwalk.DatasetNames(), ", "))
 	edges := flag.String("edges", "", "edge-list file (overrides -dataset)")
+	store := flag.String("store", "", ".hwg graph store sampled via mmap (overrides -dataset)")
 	algo := flag.String("algo", "cnrw", "algorithm: "+strings.Join(histwalk.WalkerNames(), ", "))
 	budget := flag.Int("budget", 500, "unique-query budget per chain")
 	attr := flag.String("attr", "degree", "measure attribute to aggregate (AVG)")
@@ -71,9 +79,26 @@ func main() {
 		fail(fmt.Errorf("-budget must be >= 1, got %d", *budget))
 	}
 
-	g, err := loadGraph(*edges, *datasetName, *seed)
-	if err != nil {
-		fail(err)
+	// g is always the in-memory view used for banner printing and
+	// ground truth; src is the storage backend the walk runs on when
+	// -store selected the out-of-core mode.
+	var src histwalk.GraphStore
+	var g *histwalk.Graph
+	if *store != "" {
+		m, err := histwalk.OpenGraphStore(*store)
+		if err != nil {
+			fail(err)
+		}
+		defer m.Close()
+		if g, err = m.Graph(); err != nil { // zero-copy view over the mapping
+			fail(err)
+		}
+		src = m
+	} else {
+		var err error
+		if g, err = loadGraph(*edges, *datasetName, *seed); err != nil {
+			fail(err)
+		}
 	}
 	factory, err := histwalk.WalkerByName(*algo, histwalk.WalkerOptions{Groups: *groups})
 	if err != nil {
@@ -92,7 +117,6 @@ func main() {
 		stepping = histwalk.SteppingBatched
 	}
 	spec := histwalk.Spec{
-		Graph:      g,
 		Walker:     factory,
 		Estimators: []histwalk.EstimatorSpec{{Kind: histwalk.AggMean, Attr: *attr}},
 		Budget:     *budget,
@@ -104,6 +128,11 @@ func main() {
 		Workers:    *workers,
 		Seed:       *seed,
 		Confidence: 0.95,
+	}
+	if src != nil {
+		spec.Store = src
+	} else {
+		spec.Graph = g
 	}
 	// Drive the run under a signal-aware context: SIGINT/SIGTERM stops
 	// every chain cleanly, and whatever samples accumulated merge into

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"histwalk/internal/graph"
+	"histwalk/internal/graphstore"
 )
 
 // ErrUnknownNode is returned when a query names a node outside the
@@ -80,12 +81,15 @@ type Client interface {
 	QueryCost() int
 }
 
-// Simulator is an in-memory Client backed by a graph.Graph. It caches
-// responses (a bitset of queried nodes) and counts unique queries.
-// Simulator is not safe for concurrent use; experiments give each trial
-// its own instance.
+// Simulator is a Client backed by any graphstore.Store — the in-memory
+// heap CSR or a memory-mapped .hwg file; the choice is invisible to
+// walkers, whose trajectories and query costs are bit-identical for a
+// fixed seed regardless of backend (both backends serve the same
+// sorted rows from the same CSR shape). It caches responses (a bitset
+// of queried nodes) and counts unique queries. Simulator is not safe
+// for concurrent use; experiments give each trial its own instance.
 type Simulator struct {
-	g       *graph.Graph
+	g       graphstore.Store
 	queried []bool
 	unique  int
 	total   int
@@ -98,18 +102,23 @@ type Simulator struct {
 	hook func(u graph.Node, fresh bool)
 }
 
-// NewSimulator returns a Simulator over g with no rate limit.
-func NewSimulator(g *graph.Graph) *Simulator {
-	return &Simulator{g: g, queried: make([]bool, g.NumNodes())}
+// NewSimulator returns a Simulator over the heap graph g with no rate
+// limit.
+func NewSimulator(g *graph.Graph) *Simulator { return NewSimulatorStore(g) }
+
+// NewSimulatorStore returns a Simulator over any storage backend with
+// no rate limit.
+func NewSimulatorStore(st graphstore.Store) *Simulator {
+	return &Simulator{g: st, queried: make([]bool, st.NumNodes())}
 }
 
 // SetRateLimiter installs a rate limiter applied to unique queries
 // (cache hits are free, as in a real crawler). Pass nil to remove.
 func (s *Simulator) SetRateLimiter(rl *RateLimiter) { s.limiter = rl }
 
-// Graph exposes the backing graph for ground-truth computations.
+// Store exposes the backing graph store for ground-truth computations.
 // Samplers must not use it; it exists for estimator validation only.
-func (s *Simulator) Graph() *graph.Graph { return s.g }
+func (s *Simulator) Store() graphstore.Store { return s.g }
 
 // touch registers a query against u, counting it only if new.
 func (s *Simulator) touch(u graph.Node) error {

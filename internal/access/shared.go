@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"histwalk/internal/graph"
+	"histwalk/internal/graphstore"
 )
 
 // sharedShards is the number of lock stripes in a SharedSimulator.
@@ -28,14 +29,15 @@ import (
 const sharedShards = 64
 
 // SharedSimulator is a concurrency-safe query cache over one
-// graph.Graph, shared by many chains. It does not implement Client
+// graphstore.Store (heap or mmap-backed — both backends are safe for
+// concurrent readers), shared by many chains. It does not implement Client
 // itself; chains talk to it through per-chain Views (see View), which
 // carry the chain-local accounting. All global counters are safe for
 // concurrent use and deterministic at quiescence: the final unique,
 // cross-hit and total counts depend only on the set of queries issued,
 // not on scheduling.
 type SharedSimulator struct {
-	g       *graph.Graph
+	g       graphstore.Store
 	locks   [sharedShards]sync.Mutex
 	queried []bool // guarded by locks[node%sharedShards]
 
@@ -47,14 +49,19 @@ type SharedSimulator struct {
 	limiter   *RateLimiter // guarded by limiterMu
 }
 
-// NewSharedSimulator returns a shared cache over g with no rate limit.
-func NewSharedSimulator(g *graph.Graph) *SharedSimulator {
-	return &SharedSimulator{g: g, queried: make([]bool, g.NumNodes())}
+// NewSharedSimulator returns a shared cache over the heap graph g with
+// no rate limit.
+func NewSharedSimulator(g *graph.Graph) *SharedSimulator { return NewSharedSimulatorStore(g) }
+
+// NewSharedSimulatorStore returns a shared cache over any storage
+// backend with no rate limit.
+func NewSharedSimulatorStore(st graphstore.Store) *SharedSimulator {
+	return &SharedSimulator{g: st, queried: make([]bool, st.NumNodes())}
 }
 
-// Graph exposes the backing graph for ground-truth computations.
+// Store exposes the backing graph store for ground-truth computations.
 // Samplers must not use it; it exists for estimator validation only.
-func (s *SharedSimulator) Graph() *graph.Graph { return s.g }
+func (s *SharedSimulator) Store() graphstore.Store { return s.g }
 
 // SetRateLimiter installs a rate limiter applied to globally-unique
 // fetches (every kind of cache hit is free). Pass nil to remove. The
@@ -135,7 +142,7 @@ func (s *SharedSimulator) Reset() {
 // itself is confined to one chain (it is not safe for concurrent use,
 // exactly like a private Simulator).
 func (s *SharedSimulator) View() *View {
-	sim := NewSimulator(s.g)
+	sim := NewSimulatorStore(s.g)
 	sim.hook = func(u graph.Node, fresh bool) {
 		s.total.Add(1)
 		if fresh {

@@ -250,10 +250,21 @@ func RunTrial(job Job, seed int64) (*TrialResult, error) {
 	return res, nil
 }
 
+// GraphData is the slice of the graph surface the trial helpers need.
+// It is satisfied by *graph.Graph and by every graphstore.Store backend
+// (the engine stays storage-agnostic without importing the storage
+// layer); Measure and RandomStart accept any of them.
+type GraphData interface {
+	Name() string
+	NumNodes() int
+	Degree(v graph.Node) int
+	AttrValue(name string, v graph.Node) (float64, bool)
+}
+
 // Measure returns the value of the measure function and the degree of
 // node v. attr == "degree" uses the topological degree so that datasets
 // need not materialize a degree attribute.
-func Measure(g *graph.Graph, attr string, v graph.Node) (float64, int, error) {
+func Measure(g GraphData, attr string, v graph.Node) (float64, int, error) {
 	deg := g.Degree(v)
 	if attr == "degree" || attr == "" {
 		return float64(deg), deg, nil
@@ -266,7 +277,7 @@ func Measure(g *graph.Graph, attr string, v graph.Node) (float64, int, error) {
 }
 
 // RandomStart draws a uniform non-isolated start node.
-func RandomStart(g *graph.Graph, rng *rand.Rand) (graph.Node, error) {
+func RandomStart(g GraphData, rng *rand.Rand) (graph.Node, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return 0, errors.New("engine: empty graph")

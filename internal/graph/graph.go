@@ -381,6 +381,43 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// AdoptCSR wraps pre-built CSR arrays in a Graph WITHOUT copying them:
+// the returned graph aliases offsets and targets directly, so callers
+// (the graphstore mmap backend) can expose file-backed arrays through
+// the ordinary Graph API with zero resident heap. The arrays must obey
+// this package's CSR conventions — offsets monotone from 0 with
+// offsets[len-1] == len(targets), rows strictly sorted, arcs symmetric,
+// self-loops stored once and counted by loops. Only the O(|V|) offset
+// shape is checked here; callers owning untrusted bytes should run
+// Validate (or the graphstore verifier) themselves. The adopted arrays
+// must stay live and unmodified for the graph's lifetime.
+func AdoptCSR(name string, offsets []int64, targets []Node, loops int) (*Graph, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("graph: AdoptCSR needs offsets of length NumNodes+1, got 0")
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: AdoptCSR offsets[0] = %d, want 0", offsets[0])
+	}
+	for v := 1; v < len(offsets); v++ {
+		if offsets[v] < offsets[v-1] {
+			return nil, fmt.Errorf("graph: AdoptCSR offsets not monotone at index %d", v)
+		}
+	}
+	if end := offsets[len(offsets)-1]; end != int64(len(targets)) {
+		return nil, fmt.Errorf("graph: AdoptCSR offsets end at %d but targets has %d entries", end, len(targets))
+	}
+	if loops < 0 || loops > len(targets) {
+		return nil, fmt.Errorf("graph: AdoptCSR loop count %d outside [0, %d]", loops, len(targets))
+	}
+	return &Graph{
+		name:    name,
+		offsets: offsets,
+		targets: targets,
+		loops:   loops,
+		attrs:   make(map[string][]float64),
+	}, nil
+}
+
 // FromEdges builds a graph with n nodes from an explicit edge list.
 // Out-of-range endpoints grow the node set; duplicates and self-loops are
 // dropped.

@@ -7,6 +7,7 @@ package graph
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"math"
@@ -14,6 +15,30 @@ import (
 	"strconv"
 	"strings"
 )
+
+// Decompressed wraps r so gzip-compressed streams are read
+// transparently: it sniffs the two-byte gzip magic (0x1f 0x8b) and
+// returns a gzip reader when present, the buffered original otherwise.
+// SNAP dataset downloads ship as .txt.gz, so the edge-list and
+// attribute loaders (and the graphpack converter built on them) accept
+// them directly without a separate gunzip step.
+func Decompressed(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err != nil {
+		// A stream shorter than two bytes cannot be gzip; pass it
+		// through and let the caller's parser handle it (or EOF).
+		return br, nil
+	}
+	if magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: gzip: %w", err)
+		}
+		return zr, nil
+	}
+	return br, nil
+}
 
 // ReadEdgeList parses an undirected edge list from r. Node IDs may be
 // arbitrary non-negative integers; they are densely relabeled in
@@ -25,12 +50,17 @@ import (
 // node count must fit graph.Node (int32): larger inputs fail with a
 // clear error rather than silently truncating the dense relabeling,
 // which would fold distinct nodes — and therefore distinct walk-history
-// edge keys — onto each other.
+// edge keys — onto each other. Gzip-compressed input is detected by
+// magic bytes and inflated transparently.
 func ReadEdgeList(r io.Reader) (*Graph, map[int64]Node, error) {
+	dr, err := Decompressed(r)
+	if err != nil {
+		return nil, nil, err
+	}
 	type rawEdge struct{ u, v int64 }
 	var edges []rawEdge
 	ids := make(map[int64]struct{})
-	sc := bufio.NewScanner(r)
+	sc := bufio.NewScanner(dr)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
 	for sc.Scan() {
@@ -105,10 +135,15 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 
 // ReadAttr parses "node value" lines into an attribute vector for a graph
 // with n nodes (dense IDs). Missing nodes default to 0. Comment and blank
-// lines are skipped.
+// lines are skipped. Gzip-compressed input is detected by magic bytes
+// and inflated transparently.
 func ReadAttr(r io.Reader, n int) ([]float64, error) {
+	dr, err := Decompressed(r)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, n)
-	sc := bufio.NewScanner(r)
+	sc := bufio.NewScanner(dr)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
 	for sc.Scan() {

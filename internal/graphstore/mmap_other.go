@@ -1,0 +1,23 @@
+//go:build !unix
+
+package graphstore
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without syscall.Mmap reads the whole file into
+// the heap. The Store contract (zero-copy stable rows) still holds —
+// rows alias the single heap image — but resident memory scales with
+// file size here, unlike the true mapping on unix.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if int64(int(size)) != size {
+		return nil, nil, formatErrf("file of %d bytes does not fit this platform's address space", size)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

@@ -1,0 +1,23 @@
+//go:build unix
+
+package graphstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The returned slice is backed
+// by the page cache (PROT_READ, MAP_SHARED): no resident heap is
+// charged for the arrays, and pages fault in on first touch. The
+// second return value unmaps.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if int64(int(size)) != size {
+		return nil, nil, formatErrf("file of %d bytes does not fit this platform's address space", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

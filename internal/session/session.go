@@ -42,6 +42,7 @@ import (
 	"histwalk/internal/engine"
 	"histwalk/internal/estimate"
 	"histwalk/internal/graph"
+	"histwalk/internal/graphstore"
 )
 
 // DesignChoice selects the estimator's stationary-distribution
@@ -171,9 +172,17 @@ type Spec struct {
 	// Graph is the network to sample in simulation mode: every chain
 	// gets its own access.Simulator over it (private cache, private
 	// unique-query accounting), or a per-chain view of one shared crawl
-	// cache when Cache is CacheShared. Exactly one of Graph and Client
-	// must be set.
+	// cache when Cache is CacheShared. Exactly one of Graph, Store and
+	// Client must be set.
 	Graph *graph.Graph
+	// Store is the network as a storage backend — typically a
+	// memory-mapped .hwg graph store (graphstore.Open), letting a run
+	// sample an out-of-core graph without parsing or heap residency.
+	// It behaves exactly like Graph mode in every other respect:
+	// trajectories, query costs and estimates are bit-identical to a
+	// heap graph with the same contents, per the backend-invariance
+	// contract. Exactly one of Graph, Store and Client must be set.
+	Store graphstore.Store
 	// Client is a live restricted-access interface to walk directly
 	// (online mode). A shared client has one cache and one query
 	// counter, so Client mode supports a single chain. If the client
@@ -247,8 +256,11 @@ type Spec struct {
 	// autoMaxSteps records that MaxSteps was defaulted rather than set
 	// by the caller, enabling the Client-mode saturation cap.
 	autoMaxSteps bool
+	// src is the normalized storage backend: Graph or Store, whichever
+	// was set (nil in Client mode). All simulation-mode paths read it.
+	src graphstore.Store
 	// shared is the cross-chain crawl cache when Cache == CacheShared,
-	// created once per Run/Session over the spec's Graph.
+	// created once per Run/Session over src.
 	shared *access.SharedSimulator
 }
 
@@ -266,11 +278,17 @@ type Progress struct {
 
 // Validate checks the spec without running it.
 func (s Spec) Validate() error {
-	if (s.Graph == nil) == (s.Client == nil) {
-		return errors.New("session: exactly one of Graph and Client must be set")
+	sources := 0
+	for _, set := range []bool{s.Graph != nil, s.Store != nil, s.Client != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return errors.New("session: exactly one of Graph, Store and Client must be set")
 	}
 	if s.Client != nil && s.Chains > 1 {
-		return errors.New("session: a shared Client supports one chain; use Graph for multi-chain fan-out")
+		return errors.New("session: a shared Client supports one chain; use Graph or Store for multi-chain fan-out")
 	}
 	if s.Walker.New == nil {
 		return errors.New("session: Walker factory without constructor")
@@ -287,14 +305,14 @@ func (s Spec) Validate() error {
 	if s.Cost != engine.CostUnique && s.Cost != engine.CostSteps {
 		return fmt.Errorf("session: unknown cost model %d", int(s.Cost))
 	}
-	if s.Graph != nil && s.Start != 0 {
-		return errors.New("session: Start is only used in Client mode; Graph mode draws each chain's start from its RNG")
+	if s.Client == nil && s.Start != 0 {
+		return errors.New("session: Start is only used in Client mode; Graph/Store mode draws each chain's start from its RNG")
 	}
 	switch s.Cache {
 	case CacheIsolated:
 	case CacheShared:
 		if s.Client != nil {
-			return errors.New("session: CacheShared applies to Graph mode; a Client brings its own cache")
+			return errors.New("session: CacheShared applies to Graph/Store mode; a Client brings its own cache")
 		}
 	default:
 		return fmt.Errorf("session: unknown cache policy %d", int(s.Cache))
@@ -361,8 +379,13 @@ func normalize(s Spec) (*Spec, error) {
 	if len(s.Estimators) == 0 {
 		s.Estimators = []EstimatorSpec{{Kind: AggAvgDegree}}
 	}
+	if s.Graph != nil {
+		s.src = s.Graph
+	} else {
+		s.src = s.Store // nil in Client mode
+	}
 	if s.Cache == CacheShared {
-		s.shared = access.NewSharedSimulator(s.Graph)
+		s.shared = access.NewSharedSimulatorStore(s.src)
 	}
 	return &s, nil
 }
@@ -603,7 +626,7 @@ func newSession(sp *Spec) (*Session, error) {
 		// element-wise identical across chains and same-node fetches may
 		// be shared. A live Client's row stability across chains is not
 		// ours to assert (and Client mode is single-chain anyway).
-		b, err := core.NewBatchStepper(bc, core.BatchOptions{ShareRows: sp.Graph != nil})
+		b, err := core.NewBatchStepper(bc, core.BatchOptions{ShareRows: sp.src != nil})
 		if err != nil {
 			return nil, fmt.Errorf("session: %w", err)
 		}
@@ -798,14 +821,14 @@ func newChain(sp *Spec, c int) (*chainRun, error) {
 		values:  make([][]float64, len(sp.Estimators)),
 		scratch: make([]float64, len(sp.Estimators)),
 	}
-	if sp.Graph != nil {
+	if sp.src != nil {
 		if sp.shared != nil {
 			cr.sim = sp.shared.View()
 		} else {
-			cr.sim = access.NewSimulator(sp.Graph)
+			cr.sim = access.NewSimulatorStore(sp.src)
 		}
 		cr.client = cr.sim
-		start, err := engine.RandomStart(sp.Graph, rng)
+		start, err := engine.RandomStart(sp.src, rng)
 		if err != nil {
 			return nil, fmt.Errorf("session: chain %d: %w", c, err)
 		}
@@ -902,7 +925,7 @@ func (cr *chainRun) finish(sp *Spec, v graph.Node, err error) (Update, bool, err
 	}
 	// Unique queries can never exceed the node count: once the whole
 	// graph is cached, larger budgets are unreachable — stop.
-	if cr.sim != nil && sp.Cost == engine.CostUnique && cr.sim.QueryCost() >= sp.Graph.NumNodes() {
+	if cr.sim != nil && sp.Cost == engine.CostUnique && cr.sim.QueryCost() >= sp.src.NumNodes() {
 		cr.done = true
 	}
 	// Client mode has no node count to detect saturation against, so
@@ -925,10 +948,10 @@ func (cr *chainRun) finish(sp *Spec, v graph.Node, err error) (Update, bool, err
 // lands in the cache on first touch.
 func (cr *chainRun) measure(sp *Spec, v graph.Node) (int, []float64, error) {
 	vals := cr.scratch
-	if sp.Graph != nil {
-		deg := sp.Graph.Degree(v)
+	if sp.src != nil {
+		deg := sp.src.Degree(v)
 		for e, es := range sp.Estimators {
-			val, _, err := engine.Measure(sp.Graph, es.attr(), v)
+			val, _, err := engine.Measure(sp.src, es.attr(), v)
 			if err != nil {
 				return 0, nil, err
 			}

@@ -19,6 +19,7 @@ import (
 
 	"histwalk/internal/dataset"
 	"histwalk/internal/engine"
+	"histwalk/internal/graph"
 	"histwalk/internal/registry"
 )
 
@@ -28,7 +29,11 @@ import (
 // inherently unserializable and therefore has no wire form.
 type SpecJSON struct {
 	// Dataset names the built-in dataset stand-in to sample (see
-	// dataset.Names); it is constructed with the run's Seed.
+	// dataset.Names), constructed with the run's Seed — or a path to a
+	// packed .hwg binary graph store, opened via mmap (the out-of-core
+	// mode; the seed then only drives the walk). Results are
+	// bit-identical between a packed graph and a heap graph with the
+	// same contents.
 	Dataset string `json:"dataset"`
 	// Walker names the algorithm (see registry.WalkerNames).
 	Walker string `json:"walker"`
@@ -226,8 +231,11 @@ func (w SpecJSON) Spec() (Spec, error) {
 		return Spec{}, fmt.Errorf("session: wire spec requires a dataset (have: %s)",
 			strings.Join(dataset.Names(), ", "))
 	}
-	g := dataset.ByName(w.Dataset, w.Seed)
-	if g == nil {
+	src, err := dataset.OpenStore(w.Dataset, w.Seed)
+	if err != nil {
+		if dataset.IsStoreFile(w.Dataset) {
+			return Spec{}, fmt.Errorf("session: opening graph store %q: %w", w.Dataset, err)
+		}
 		return Spec{}, fmt.Errorf("session: unknown dataset %q (have: %s)",
 			w.Dataset, strings.Join(dataset.Names(), ", "))
 	}
@@ -264,7 +272,6 @@ func (w SpecJSON) Spec() (Spec, error) {
 		stream = engine.StreamID(w.Stream)
 	}
 	spec := Spec{
-		Graph:      g,
 		Walker:     factory,
 		Design:     design,
 		Estimators: ests,
@@ -280,6 +287,14 @@ func (w SpecJSON) Spec() (Spec, error) {
 		Stream:     stream,
 		Confidence: w.Confidence,
 		CIBatch:    w.CIBatch,
+	}
+	// Built-in names resolve to a heap graph and populate Graph (so
+	// callers inspecting the concrete dataset keep working); .hwg paths
+	// resolve to the mmap backend and populate Store.
+	if g, ok := src.(*graph.Graph); ok {
+		spec.Graph = g
+	} else {
+		spec.Store = src
 	}
 	if err := spec.Validate(); err != nil {
 		return Spec{}, err
