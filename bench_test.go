@@ -15,6 +15,7 @@ package histwalk_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -388,6 +389,76 @@ func BenchmarkSharedVsIsolatedChains(b *testing.B) {
 	})
 }
 
+// BenchmarkPipelinedCrawl measures latency hiding by the pipelined
+// access layer: the same CNRW crawl over a simulated 10ms-round-trip
+// transport at speculation windows 1/8/32 and 1/4/16 chains, with an
+// equal per-chain query budget everywhere. Chain-local accounting is
+// asserted bit-identical across windows (the house invariant), so any
+// wall-clock difference is pure pipelining: demand stalls replaced by
+// speculative warm hits. cmd/benchgate gates the single-chain
+// window-1 → window-32 pair at the min_speedup recorded in
+// BENCH_access.json. Run with -benchtime 1x: one crawl per
+// configuration is the measurement.
+//
+// Reported metrics (see internal/access.PipelineStats):
+//
+//	network_fetches — total transport fetches (demand + speculative)
+//	demand_misses   — demands that stalled a full round trip
+//	warm_hit_pct    — % of fresh demands served with no stall at all
+func BenchmarkPipelinedCrawl(b *testing.B) {
+	g := histwalk.GooglePlusN(400, 1)
+	const latency = 10 * time.Millisecond
+	run := func(window, chains int) *histwalk.Result {
+		res, err := histwalk.Run(context.Background(), histwalk.Spec{
+			Graph:   g,
+			Walker:  histwalk.CNRWFactory(),
+			Budget:  200,
+			Chains:  chains,
+			Seed:    1,
+			Window:  window,
+			Latency: latency,
+			Estimators: []histwalk.EstimatorSpec{
+				{Kind: histwalk.AggAvgDegree},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	for _, chains := range []int{1, 4, 16} {
+		var want *histwalk.Result
+		for _, window := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("w=%d/chains=%d", window, chains), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := run(window, chains)
+					b.StopTimer()
+					if want == nil {
+						want = res
+					} else {
+						if res.TotalQueries != want.TotalQueries {
+							b.Fatalf("query budget drifted across windows: %d vs %d",
+								res.TotalQueries, want.TotalQueries)
+						}
+						for c := range res.Estimates[0].PerChain {
+							if res.Estimates[0].PerChain[c] != want.Estimates[0].PerChain[c] {
+								b.Fatalf("chain %d estimate diverged across windows", c)
+							}
+						}
+					}
+					st := res.Pipeline
+					b.ReportMetric(float64(st.NetworkFetches), "network_fetches")
+					b.ReportMetric(float64(st.DemandMisses), "demand_misses")
+					if fresh := st.DemandMisses + st.DemandJoined + st.DemandWarm; fresh > 0 {
+						b.ReportMetric(100*float64(st.DemandWarm)/float64(fresh), "warm_hit_pct")
+					}
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
 // --- per-step micro-benchmarks ---
 
 // BenchmarkWalkStep is the hot-path suite the allocation gate watches
@@ -611,7 +682,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 					st, err := m.Submit(histwalk.SpecJSON{
 						Dataset: "clustered",
 						Walker:  "cnrw",
-						Budget:  50,
+						Budget:  200,
 						Chains:  4,
 						Seed:    seed,
 					})

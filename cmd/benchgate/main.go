@@ -19,11 +19,22 @@
 //   - when BenchmarkBatchedChains results are on stdin, additionally
 //     prints the aggregate multi-chain steps/sec per walker and K, and
 //     the batched-vs-sequential speedup for every pair present (also
-//     not gated: it is a throughput report, not a contract).
+//     not gated: it is a throughput report, not a contract);
+//   - FAILS (exit 1) if the baseline declares speedup_gate pairs and
+//     the slow/fast wall-clock ratio of any pair falls below its
+//     min_speedup — the pipelined access layer's latency hiding is a
+//     tested contract too. Ratios are host-independent where both
+//     sides are dominated by the same simulated transport latency.
+//
+// A baseline with "max_allocs_per_step": -1 disables the allocation
+// and bytes gates (and the -benchmem requirement) — used by baselines
+// whose benchmarks measure wall-clock crawls, not per-step allocation
+// (BENCH_access.json).
 //
 // Usage:
 //
 //	go test -run xxx -bench 'WalkStep|BatchedChains' -benchmem -benchtime 1000000x . | go run ./cmd/benchgate -baseline BENCH_core.json
+//	go test -run xxx -bench PipelinedCrawl -benchtime 1x . | go run ./cmd/benchgate -baseline BENCH_access.json -prefix BenchmarkPipelinedCrawl/
 package main
 
 import (
@@ -51,6 +62,13 @@ type baselineFile struct {
 		AllocsPerOp   float64 `json:"allocs_per_op"`
 		BeforeNsPerOp float64 `json:"before_ns_per_op,omitempty"`
 	} `json:"benchmarks"`
+	// SpeedupGates are wall-clock ratio contracts: slow/fast must be at
+	// least min_speedup, both names measured in this run.
+	SpeedupGates []struct {
+		Slow       string  `json:"slow"`
+		Fast       string  `json:"fast"`
+		MinSpeedup float64 `json:"min_speedup"`
+	} `json:"speedup_gate"`
 }
 
 // result is one parsed benchmark line.
@@ -126,6 +144,7 @@ func run(in io.Reader, out io.Writer, baselinePath, prefix string) (failures int
 	if gate == 0 {
 		gate = 1
 	}
+	memGated := gate >= 0 // -1 disables the alloc/bytes gates entirely
 	results, err := parseBench(in)
 	if err != nil {
 		return 0, err
@@ -146,7 +165,9 @@ func run(in io.Reader, out io.Writer, baselinePath, prefix string) (failures int
 		} else {
 			line += "   (no baseline entry)"
 		}
-		if !r.hasMem {
+		if !memGated {
+			// wall-clock benchmark; no per-op memory contract
+		} else if !r.hasMem {
 			failures++
 			line += "   MISSING allocs/op (run with -benchmem)"
 		} else if r.allocs > gate {
@@ -164,7 +185,40 @@ func run(in io.Reader, out io.Writer, baselinePath, prefix string) (failures int
 		return 1, fmt.Errorf("benchgate: no %s* results on stdin (did the bench run?)", prefix)
 	}
 	reportBatched(out, &base, results)
+	failures += gateSpeedups(out, &base, results)
 	return failures, nil
+}
+
+// gateSpeedups enforces the baseline's speedup_gate entries against
+// the measured results, returning the number of failed gates. A gate
+// whose benchmarks are missing from stdin fails — a contract that did
+// not run has not passed.
+func gateSpeedups(out io.Writer, base *baselineFile, results []result) (failures int) {
+	if len(base.SpeedupGates) == 0 {
+		return 0
+	}
+	byName := map[string]float64{}
+	for _, r := range results {
+		byName[r.name] = r.nsPerOp // repeated runs (-count): last wins
+	}
+	for _, g := range base.SpeedupGates {
+		slow, okS := byName[g.Slow]
+		fast, okF := byName[g.Fast]
+		if !okS || !okF || fast <= 0 {
+			failures++
+			fmt.Fprintf(out, "SPEEDUP GATE FAILED: %s vs %s: results missing from this run\n", g.Slow, g.Fast)
+			continue
+		}
+		ratio := slow / fast
+		if ratio < g.MinSpeedup {
+			failures++
+			fmt.Fprintf(out, "SPEEDUP GATE FAILED: %s / %s = %.2fx < required %.2fx\n",
+				g.Slow, g.Fast, ratio, g.MinSpeedup)
+			continue
+		}
+		fmt.Fprintf(out, "speedup gate: %s / %s = %.2fx >= %.2fx ok\n", g.Slow, g.Fast, ratio, g.MinSpeedup)
+	}
+	return failures
 }
 
 // batchedPrefix marks the multi-chain throughput benchmarks; their
@@ -224,8 +278,8 @@ func main() {
 		os.Exit(1)
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d step benchmark(s) failed the allocation gate\n", failures)
+		fmt.Fprintf(os.Stderr, "benchgate: %d gate failure(s)\n", failures)
 		os.Exit(1)
 	}
-	fmt.Println("benchgate: allocation gate passed")
+	fmt.Println("benchgate: all gates passed")
 }

@@ -127,3 +127,83 @@ func TestGateErrorsOnEmptyInput(t *testing.T) {
 		t.Fatal("want error when no step benchmarks are present")
 	}
 }
+
+const pipelineBaseline = `{
+  "gate": {"max_allocs_per_step": -1},
+  "benchmarks": {
+    "BenchmarkPipelinedCrawl/w=1/chains=1":  {"ns_per_op": 1500000000},
+    "BenchmarkPipelinedCrawl/w=32/chains=1": {"ns_per_op": 250000000}
+  },
+  "speedup_gate": [
+    {"slow": "BenchmarkPipelinedCrawl/w=1/chains=1",
+     "fast": "BenchmarkPipelinedCrawl/w=32/chains=1",
+     "min_speedup": 5.0}
+  ]
+}`
+
+func writePipelineBaseline(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "BENCH_access.json")
+	if err := os.WriteFile(p, []byte(pipelineBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The -1 alloc-gate sentinel must accept wall-clock benchmarks run
+// without -benchmem, and the speedup gate must pass when the measured
+// ratio clears the minimum.
+func TestSpeedupGatePasses(t *testing.T) {
+	in := strings.NewReader(`
+BenchmarkPipelinedCrawl/w=1/chains=1     	       1	1600000000 ns/op	       135.0 demand_misses
+BenchmarkPipelinedCrawl/w=32/chains=1    	       1	 250000000 ns/op	         8.000 demand_misses
+PASS
+`)
+	var out strings.Builder
+	failures, err := run(in, &out, writePipelineBaseline(t), "BenchmarkPipelinedCrawl/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d, want 0\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "6.40x >= 5.00x ok") {
+		t.Fatalf("speedup gate report missing:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "MISSING allocs/op") {
+		t.Fatalf("disabled alloc gate still requires -benchmem:\n%s", out.String())
+	}
+}
+
+func TestSpeedupGateFailsBelowMinimum(t *testing.T) {
+	in := strings.NewReader(`
+BenchmarkPipelinedCrawl/w=1/chains=1     	       1	 900000000 ns/op
+BenchmarkPipelinedCrawl/w=32/chains=1    	       1	 250000000 ns/op
+`)
+	var out strings.Builder
+	failures, err := run(in, &out, writePipelineBaseline(t), "BenchmarkPipelinedCrawl/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "SPEEDUP GATE FAILED") {
+		t.Fatalf("failure not reported:\n%s", out.String())
+	}
+}
+
+func TestSpeedupGateFailsWhenPairMissing(t *testing.T) {
+	in := strings.NewReader(`BenchmarkPipelinedCrawl/w=1/chains=1 	       1	1600000000 ns/op`)
+	var out strings.Builder
+	failures, err := run(in, &out, writePipelineBaseline(t), "BenchmarkPipelinedCrawl/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 (a gate that did not run has not passed)\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "results missing") {
+		t.Fatalf("missing-pair failure not reported:\n%s", out.String())
+	}
+}

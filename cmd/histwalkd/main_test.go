@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -178,6 +180,123 @@ func TestDaemonEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if met.Submitted != 1 || met.Done != 1 {
 		t.Fatalf("metrics %+v", met)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}
+
+// TestDaemonHTTPTransportJob is the live-crawl smoke, run by CI: a
+// histwalk dataset is served as a fake social API (the HTTP transport's
+// JSON neighbor-list wire format, behind an auth check), the daemon
+// receives a wire-form spec whose transport entry points at that
+// endpoint, and the finished job must carry the same estimates and
+// chain-local query accounting as a direct histwalk.Run of the same
+// spec — the pipeline's network-side counters are scheduling-dependent
+// and deliberately excluded from the comparison.
+func TestDaemonHTTPTransportJob(t *testing.T) {
+	g := histwalk.GooglePlusN(200, 1)
+	inner := histwalk.HTTPTransportHandler(g)
+	var hits atomic.Int64
+	api := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Api-Key") != "sekrit" {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		hits.Add(1)
+		inner.ServeHTTP(w, r)
+	}))
+	defer api.Close()
+
+	base, stop := startDaemon(t)
+
+	spec := histwalk.SpecJSON{
+		Walker: "cnrw",
+		Budget: 40,
+		Chains: 2,
+		Seed:   3,
+		Transport: &histwalk.TransportJSON{
+			Kind:       "http",
+			URL:        api.URL,
+			Window:     8,
+			Start:      7,
+			AuthHeader: "X-Api-Key",
+			AuthValue:  "sekrit",
+		},
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st histwalk.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, st)
+	}
+
+	// Poll to a terminal state; the crawl is small but goes over two
+	// real HTTP hops (daemon -> api), so give it a generous deadline.
+	var fin histwalk.JobStatus
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&fin); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if fin.State != histwalk.JobQueued && fin.State != histwalk.JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", fin.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if fin.State != histwalk.JobDone || fin.Result == nil {
+		t.Fatalf("job ended %s (%s)", fin.State, fin.Error)
+	}
+	if hits.Load() == 0 {
+		t.Fatal("daemon never reached the HTTP endpoint")
+	}
+
+	// A direct Run of the same wire spec (same endpoint, same seed) must
+	// produce identical estimates and chain-local accounting: the
+	// speculation window changes wall-clock only, never trajectories.
+	resolved, err := spec.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := histwalk.Run(context.Background(), resolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Result.TotalQueries != want.TotalQueries {
+		t.Fatalf("total queries: daemon %d, direct %d", fin.Result.TotalQueries, want.TotalQueries)
+	}
+	wantJSON, err := json.Marshal(want.Estimates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(fin.Result.Estimates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("daemon estimates differ from direct Run:\n%s\nvs\n%s", gotJSON, wantJSON)
+	}
+	if fin.Result.Pipeline == nil || fin.Result.Pipeline.NetworkFetches == 0 {
+		t.Fatalf("result missing pipeline stats: %+v", fin.Result.Pipeline)
 	}
 
 	if err := stop(); err != nil {

@@ -11,6 +11,8 @@
 //	sampler -dataset gplus -algo cnrw -budget 500 -chains 8 -workers 4
 //	sampler -dataset gplus -algo cnrw -budget 500 -chains 16 -shared-cache
 //	sampler -dataset gplus -algo gnrw-degree -budget 500 -chains 16 -batched
+//	sampler -dataset gplus -algo cnrw -budget 500 -latency 10ms -window 32
+//	sampler -endpoint http://api.example.com -start 7 -algo cnrw -budget 200 -window 32
 //
 // The whole run is one declarative histwalk.Spec executed by
 // histwalk.Run. With -chains N > 1 the session runs N independent
@@ -32,6 +34,20 @@
 // stays out of the heap, while every trajectory and estimate is
 // bit-identical to sampling the equivalent in-memory graph (ground
 // truth is read from a zero-copy view of the same mapping).
+//
+// -latency and -window exercise the pipelined access layer: -latency
+// simulates a transport round trip per unique fetch, and -window N
+// allows N speculative prefetches in flight, warming the walkers'
+// candidate frontiers ahead of the walk. Every trajectory, estimate
+// and chain-local query count is bit-identical for any window — the
+// pipeline only changes wall-clock time, and the report shows the
+// network-side stats (fetches, speculative waste, warm-hit rate).
+//
+// -endpoint crawls a live JSON neighbor-list API over HTTP instead of
+// a local dataset (see internal/access/httpclient for the wire format
+// and retry/backoff behavior; -auth-header/-auth-value attach a
+// credential). All chains start at -start. Ground truth is unknowable
+// over a remote API, so the report skips the relative-error line.
 //
 // Algorithms come from the shared registry (histwalk.WalkerNames) —
 // the same names the histwalkd service accepts in job specs. SIGINT or
@@ -67,6 +83,12 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for -chains > 1 (default: one per chain)")
 	sharedCache := flag.Bool("shared-cache", false, "share one crawl cache across chains (identical estimates, lower global network cost)")
 	batched := flag.Bool("batched", false, "step all chains in lockstep rounds on the batch stepper (identical results, higher aggregate throughput)")
+	window := flag.Int("window", 0, "speculative prefetch window: max in-flight speculative fetches (0 = synchronous access)")
+	latency := flag.Duration("latency", 0, "simulated transport round trip per unique fetch (e.g. 10ms; pipelines the local dataset)")
+	endpoint := flag.String("endpoint", "", "live crawl: base URL of a JSON neighbor-list endpoint (overrides -dataset/-edges/-store)")
+	startNode := flag.Int64("start", 0, "start node for -endpoint crawls (every chain starts here)")
+	authHeader := flag.String("auth-header", "", "HTTP header name attached to every -endpoint request")
+	authValue := flag.String("auth-value", "", "value for -auth-header")
 	flag.Parse()
 
 	if *chains < 1 {
@@ -79,12 +101,25 @@ func main() {
 		fail(fmt.Errorf("-budget must be >= 1, got %d", *budget))
 	}
 
-	// g is always the in-memory view used for banner printing and
-	// ground truth; src is the storage backend the walk runs on when
-	// -store selected the out-of-core mode.
+	// g is the in-memory view used for banner printing and ground
+	// truth; src is the storage backend the walk runs on when -store
+	// selected the out-of-core mode. In -endpoint mode there is no
+	// local graph at all — the remote API is the only source.
 	var src histwalk.GraphStore
 	var g *histwalk.Graph
-	if *store != "" {
+	var transport histwalk.Transport
+	switch {
+	case *endpoint != "":
+		var err error
+		transport, err = histwalk.NewHTTPTransport(histwalk.HTTPTransportConfig{
+			BaseURL:    *endpoint,
+			AuthHeader: *authHeader,
+			AuthValue:  *authValue,
+		})
+		if err != nil {
+			fail(err)
+		}
+	case *store != "":
 		m, err := histwalk.OpenGraphStore(*store)
 		if err != nil {
 			fail(err)
@@ -94,7 +129,7 @@ func main() {
 			fail(err)
 		}
 		src = m
-	} else {
+	default:
 		var err error
 		if g, err = loadGraph(*edges, *datasetName, *seed); err != nil {
 			fail(err)
@@ -105,8 +140,12 @@ func main() {
 		fail(err)
 	}
 
-	fmt.Printf("dataset %s: %d nodes, %d edges, avg degree %.2f\n",
-		g.Name(), g.NumNodes(), g.NumEdges(), g.AvgDegree())
+	if g != nil {
+		fmt.Printf("dataset %s: %d nodes, %d edges, avg degree %.2f\n",
+			g.Name(), g.NumNodes(), g.NumEdges(), g.AvgDegree())
+	} else {
+		fmt.Printf("endpoint %s: live crawl from node %d\n", *endpoint, *startNode)
+	}
 
 	cache := histwalk.CacheIsolated
 	if *sharedCache {
@@ -128,10 +167,16 @@ func main() {
 		Workers:    *workers,
 		Seed:       *seed,
 		Confidence: 0.95,
+		Window:     *window,
+		Latency:    *latency,
 	}
-	if src != nil {
+	switch {
+	case transport != nil:
+		spec.Transport = transport
+		spec.Start = histwalk.Node(*startNode)
+	case src != nil:
 		spec.Store = src
-	} else {
+	default:
 		spec.Graph = g
 	}
 	// Drive the run under a signal-aware context: SIGINT/SIGTERM stops
@@ -159,10 +204,6 @@ func main() {
 		fmt.Printf("interrupted — reporting the partial result of the %d chain(s) sampled so far\n", len(res.Chains))
 	}
 
-	truth := g.AvgDegree()
-	if *attr != "degree" {
-		truth, _ = g.MeanAttr(*attr)
-	}
 	est := res.Estimates[0]
 	fmt.Printf("algorithm        %s (estimator design: %s)\n", factory.Name, est.Design)
 	budgetLabel := ""
@@ -174,11 +215,21 @@ func main() {
 	}
 	fmt.Printf("chains           %d × budget %d (workers %s%s)\n", *chains, *budget, workersLabel(*workers), budgetLabel)
 	fmt.Printf("total steps      %d\n", res.TotalSteps)
-	if *sharedCache {
+	switch {
+	case res.Pipeline != nil:
+		st := res.Pipeline
+		fmt.Printf("unique queries   %d chain-local (budgets), %d network fetches (%d speculative)\n",
+			res.TotalQueries, st.NetworkFetches, st.SpeculativeFetches)
+		if fresh := st.DemandMisses + st.DemandJoined + st.DemandWarm; fresh > 0 {
+			fmt.Printf("pipeline         window %d: %d misses, %d joined in-flight, %d warm hits (%.1f%% of fresh demands stall-free)\n",
+				*window, st.DemandMisses, st.DemandJoined, st.DemandWarm,
+				100*float64(st.DemandWarm)/float64(fresh))
+		}
+	case *sharedCache:
 		fmt.Printf("unique queries   %d chain-local (budgets), %d paid to the network\n", res.TotalQueries, res.GlobalQueries)
 		fmt.Printf("shared cache     %d cross-chain hits (%.1f%% of chain-local queries saved)\n",
 			res.CrossChainHits, 100*res.CrossChainHitRate)
-	} else {
+	default:
 		fmt.Printf("unique queries   %d (per-chain caches)\n", res.TotalQueries)
 	}
 	for i, c := range res.Chains {
@@ -191,8 +242,17 @@ func main() {
 	if est.HasInterval {
 		fmt.Printf("95%% interval     [%.4f, %.4f]\n", est.Interval.Low, est.Interval.High)
 	}
-	fmt.Printf("AVG(%s)          pooled estimate %.4f, truth %.4f, relative error %.4f\n",
-		*attr, est.Point, truth, histwalk.RelativeError(est.Point, truth))
+	if g != nil {
+		truth := g.AvgDegree()
+		if *attr != "degree" {
+			truth, _ = g.MeanAttr(*attr)
+		}
+		fmt.Printf("AVG(%s)          pooled estimate %.4f, truth %.4f, relative error %.4f\n",
+			*attr, est.Point, truth, histwalk.RelativeError(est.Point, truth))
+	} else {
+		fmt.Printf("AVG(%s)          pooled estimate %.4f (ground truth unknown over a remote endpoint)\n",
+			*attr, est.Point)
+	}
 }
 
 func workersLabel(w int) string {

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"histwalk/internal/access"
 	"histwalk/internal/core"
@@ -189,8 +190,18 @@ type Spec struct {
 	// enforces a budget itself (access.Budgeted), hitting
 	// ErrBudgetExhausted ends the run cleanly rather than failing it.
 	Client access.Client
-	// Start is the chain's start node in Client mode (Graph mode draws
-	// a uniform non-isolated start per chain from the chain's RNG).
+	// Transport is a context-aware pipelined transport to crawl
+	// (remote-crawl mode): chains run over one access.Prefetcher wrapping
+	// it — shared row cache, single-flight dedup across chains,
+	// speculative frontier prefetch up to Window in-flight fetches.
+	// Unlike Client mode it supports multiple chains (the pipeline is
+	// concurrency-safe and keeps per-chain accounting bit-identical to
+	// private simulators); every chain starts at Start. Exactly one of
+	// Graph, Store, Client and Transport must be set.
+	Transport access.Transport
+	// Start is the chains' start node in Client and Transport mode
+	// (Graph/Store mode draws a uniform non-isolated start per chain
+	// from the chain's RNG).
 	Start graph.Node
 
 	// Walker builds one fresh walker per chain.
@@ -226,6 +237,21 @@ type Spec struct {
 	// crawl cache without changing any chain's trajectory or budget
 	// accounting; see CachePolicy.
 	Cache CachePolicy
+	// Window is the pipelined access layer's speculative in-flight
+	// window: how many prefetch fetches may be outstanding at once.
+	// In Graph/Store mode a positive Window (or Latency) switches the
+	// run to the pipelined-simulation path — chains read through one
+	// access.Prefetcher over a simulated transport — with trajectories,
+	// RNG consumption and per-chain query costs bit-identical to the
+	// synchronous path for any value. In Transport mode it tunes the
+	// pipeline over the live transport (0 disables speculation; the
+	// shared cache and single-flight dedup remain).
+	Window int
+	// Latency is the simulated per-fetch transport latency for the
+	// Graph/Store pipelined mode (0 = none). It models a remote API's
+	// round-trip time so latency hiding can be measured; it cannot be
+	// combined with a live Transport, whose latency is real.
+	Latency time.Duration
 	// Stepping selects per-chain (default) or lockstep-batched chain
 	// advancement; see SteppingMode. The Result is bit-identical either
 	// way.
@@ -257,11 +283,20 @@ type Spec struct {
 	// by the caller, enabling the Client-mode saturation cap.
 	autoMaxSteps bool
 	// src is the normalized storage backend: Graph or Store, whichever
-	// was set (nil in Client mode). All simulation-mode paths read it.
+	// was set (nil in Client and Transport mode). All simulation-mode
+	// paths read it.
 	src graphstore.Store
 	// shared is the cross-chain crawl cache when Cache == CacheShared,
 	// created once per Run/Session over src.
 	shared *access.SharedSimulator
+	// pipe is the pipelined access layer when the spec selects it
+	// (Transport set, or Graph/Store mode with Window/Latency), created
+	// once per Run/Session; chains read through per-chain PipeViews.
+	pipe *access.Prefetcher
+	// nodes is the network size when known (Graph/Store mode, or a
+	// Transport implementing access.NodeCounter); 0 means unknown, which
+	// disables the saturation stop and enables the progress bound.
+	nodes int
 }
 
 // Progress is a snapshot of a run in flight.
@@ -279,16 +314,36 @@ type Progress struct {
 // Validate checks the spec without running it.
 func (s Spec) Validate() error {
 	sources := 0
-	for _, set := range []bool{s.Graph != nil, s.Store != nil, s.Client != nil} {
+	for _, set := range []bool{s.Graph != nil, s.Store != nil, s.Client != nil, s.Transport != nil} {
 		if set {
 			sources++
 		}
 	}
 	if sources != 1 {
-		return errors.New("session: exactly one of Graph, Store and Client must be set")
+		return errors.New("session: exactly one of Graph, Store, Client and Transport must be set")
 	}
 	if s.Client != nil && s.Chains > 1 {
-		return errors.New("session: a shared Client supports one chain; use Graph or Store for multi-chain fan-out")
+		return errors.New("session: a shared Client supports one chain; use Graph, Store or Transport for multi-chain fan-out")
+	}
+	if s.Window < 0 {
+		return errors.New("session: Window must be >= 0")
+	}
+	if s.Latency < 0 {
+		return errors.New("session: Latency must be >= 0")
+	}
+	if s.Client != nil && (s.Window != 0 || s.Latency != 0) {
+		return errors.New("session: Window and Latency select the pipelined access layer, which a raw Client bypasses; use Transport")
+	}
+	if s.Transport != nil && s.Latency != 0 {
+		return errors.New("session: Latency simulates a transport's round trip; a live Transport's latency is its own")
+	}
+	if s.pipelined() {
+		if s.Cache == CacheShared {
+			return errors.New("session: the pipelined access layer has its own shared row cache; CacheShared does not compose with it")
+		}
+		if s.Stepping == SteppingBatched {
+			return errors.New("session: pipelined access requires per-chain stepping (the batch stepper has its own fetch sharing)")
+		}
 	}
 	if s.Walker.New == nil {
 		return errors.New("session: Walker factory without constructor")
@@ -305,8 +360,8 @@ func (s Spec) Validate() error {
 	if s.Cost != engine.CostUnique && s.Cost != engine.CostSteps {
 		return fmt.Errorf("session: unknown cost model %d", int(s.Cost))
 	}
-	if s.Client == nil && s.Start != 0 {
-		return errors.New("session: Start is only used in Client mode; Graph/Store mode draws each chain's start from its RNG")
+	if s.Client == nil && s.Transport == nil && s.Start != 0 {
+		return errors.New("session: Start is only used in Client and Transport mode; Graph/Store mode draws each chain's start from its RNG")
 	}
 	switch s.Cache {
 	case CacheIsolated:
@@ -382,12 +437,39 @@ func normalize(s Spec) (*Spec, error) {
 	if s.Graph != nil {
 		s.src = s.Graph
 	} else {
-		s.src = s.Store // nil in Client mode
+		s.src = s.Store // nil in Client and Transport mode
 	}
 	if s.Cache == CacheShared {
 		s.shared = access.NewSharedSimulatorStore(s.src)
 	}
+	if s.Transport != nil {
+		s.pipe = access.NewPrefetcher(s.Transport, s.Window)
+		if nc, ok := s.Transport.(access.NodeCounter); ok {
+			s.nodes = nc.NumNodes()
+		}
+	} else if s.src != nil {
+		s.nodes = s.src.NumNodes()
+		if s.pipelined() {
+			s.pipe = access.NewPrefetcher(access.NewSimTransport(s.src, s.Latency), s.Window)
+		}
+	}
 	return &s, nil
+}
+
+// pipelined reports whether the spec selects the pipelined access
+// layer: always in Transport mode, and in Graph/Store mode whenever a
+// speculation window or simulated latency is requested.
+func (s *Spec) pipelined() bool {
+	return s.Transport != nil || ((s.Graph != nil || s.Store != nil) && (s.Window > 0 || s.Latency > 0))
+}
+
+// closePipe cancels the pipelined access layer's outstanding
+// speculative fetches and waits for their goroutines; a no-op for
+// non-pipelined specs. The chains' results stay readable afterwards.
+func (s *Spec) closePipe() {
+	if s.pipe != nil {
+		s.pipe.Close()
+	}
 }
 
 // design resolves the estimator design.
@@ -496,6 +578,18 @@ type Result struct {
 	// chain-locally-new queries: the share of the would-be network cost
 	// that the shared cache saved. 0 under CacheIsolated.
 	CrossChainHitRate float64 `json:"cross_chain_hit_rate"`
+	// Pipeline, present exactly in pipelined mode, snapshots the shared
+	// access pipeline's network-side counters. In that mode
+	// GlobalQueries counts every network fetch the pipeline issued —
+	// demand and speculative alike, so the ledger identity
+	// GlobalQueries + CrossChainHits == TotalQueries deliberately does
+	// NOT hold: speculation may fetch rows no chain ever demands, waste
+	// that buys wall-clock time. CrossChainHits counts demands served
+	// without a fresh fetch (by a sibling chain's fetch or by
+	// speculation). Unlike everything else in the Result, these network
+	// counters depend on goroutine scheduling and are not deterministic;
+	// the determinism invariant covers only chain-local accounting.
+	Pipeline *access.PipelineStats `json:"pipeline,omitempty"`
 }
 
 // Lookup returns the estimate with the given label.
@@ -516,6 +610,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer sp.closePipe()
 	if sp.Stepping == SteppingBatched {
 		return runBatched(ctx, sp)
 	}
@@ -719,6 +814,13 @@ func (s *Session) nextBatched() (Update, bool, error) {
 	}
 }
 
+// Close releases the pipelined access layer's background resources
+// (canceling outstanding speculative fetches); it is a no-op for
+// non-pipelined specs. Result and PartialResult stay callable after
+// Close, but the chains must not be advanced further. Run closes its
+// own pipeline; Session callers in pipelined mode should defer Close.
+func (s *Session) Close() { s.sp.closePipe() }
+
 // Done reports whether every chain has finished.
 func (s *Session) Done() bool {
 	for _, cr := range s.chains {
@@ -803,6 +905,16 @@ type chainRun struct {
 	steps   int
 	done    bool
 
+	// warm and cands wire the chain into the pipelined access layer's
+	// speculative prefetch (both nil outside pipelined mode, or when
+	// the walker offers no candidate hint). After each transition the
+	// walker's last-fetched candidate frontier — which contains the
+	// walk's new position — is handed to the pipeline as a prefetch
+	// hint; the hint is accounting-free and consumes no RNG, so it
+	// cannot perturb the trajectory.
+	warm  *access.PipeView
+	cands core.CandidateAdvertiser
+
 	// retained samples
 	degrees []int
 	values  [][]float64 // [estimator][sample] raw measured values
@@ -821,7 +933,25 @@ func newChain(sp *Spec, c int) (*chainRun, error) {
 		values:  make([][]float64, len(sp.Estimators)),
 		scratch: make([]float64, len(sp.Estimators)),
 	}
-	if sp.src != nil {
+	switch {
+	case sp.pipe != nil:
+		view := sp.pipe.View()
+		cr.sim = view
+		cr.client = view
+		cr.warm = view
+		if sp.src != nil {
+			// Pipelined simulation: the start draw consumes the chain
+			// RNG exactly as the synchronous Graph/Store path does, so
+			// trajectories stay bit-identical across the mode switch.
+			start, err := engine.RandomStart(sp.src, rng)
+			if err != nil {
+				return nil, fmt.Errorf("session: chain %d: %w", c, err)
+			}
+			cr.start = start
+		} else {
+			cr.start = sp.Start
+		}
+	case sp.src != nil:
 		if sp.shared != nil {
 			cr.sim = sp.shared.View()
 		} else {
@@ -833,7 +963,7 @@ func newChain(sp *Spec, c int) (*chainRun, error) {
 			return nil, fmt.Errorf("session: chain %d: %w", c, err)
 		}
 		cr.start = start
-	} else {
+	default:
 		cr.client = sp.Client
 		cr.base = sp.Client.QueryCost()
 		if tr, ok := sp.Client.(requestReporter); ok {
@@ -842,6 +972,15 @@ func newChain(sp *Spec, c int) (*chainRun, error) {
 		cr.start = sp.Start
 	}
 	cr.walker = sp.Walker.New(cr.client, cr.start, rng)
+	if cr.warm != nil {
+		if ca, ok := cr.walker.(core.CandidateAdvertiser); ok {
+			cr.cands = ca
+		}
+		// Seed the pipeline with the start node: its row (and, through
+		// the recursive warm, its neighborhood) is the walk's first
+		// demand.
+		cr.warm.Warm([]graph.Node{cr.start})
+	}
 	// Results are reported under Walker.Name; a factory that had to
 	// substitute a fallback (core.Degraded — e.g. a frontier sampler
 	// whose bootstrap queries an exhausted client refused) would run a
@@ -924,19 +1063,31 @@ func (cr *chainRun) finish(sp *Spec, v graph.Node, err error) (Update, bool, err
 		}
 	}
 	// Unique queries can never exceed the node count: once the whole
-	// graph is cached, larger budgets are unreachable — stop.
-	if cr.sim != nil && sp.Cost == engine.CostUnique && cr.sim.QueryCost() >= sp.src.NumNodes() {
+	// network is cached, larger budgets are unreachable — stop. The
+	// count is known in Graph/Store mode and for transports that report
+	// one (access.NodeCounter).
+	if cr.sim != nil && sp.nodes > 0 && sp.Cost == engine.CostUnique && cr.sim.QueryCost() >= sp.nodes {
 		cr.done = true
 	}
-	// Client mode has no node count to detect saturation against, so
-	// when MaxSteps was defaulted, bound the walk by its own progress
-	// instead: the Graph-mode default allows 200 steps per budgeted
-	// query, so a walk that has taken 200×(spend+1) steps has stopped
-	// paying — its remaining budget is unreachable (e.g. a Budgeted
-	// client whose budget exceeds the reachable component).
-	if cr.sim == nil && sp.autoMaxSteps && sp.Cost == engine.CostUnique &&
+	// Without a node count (Client mode, or a live transport of unknown
+	// size) there is no saturation to detect, so when MaxSteps was
+	// defaulted, bound the walk by its own progress instead: the
+	// Graph-mode default allows 200 steps per budgeted query, so a walk
+	// that has taken 200×(spend+1) steps has stopped paying — its
+	// remaining budget is unreachable (e.g. a Budgeted client whose
+	// budget exceeds the reachable component).
+	if sp.nodes == 0 && sp.autoMaxSteps && sp.Cost == engine.CostUnique &&
 		cr.steps >= 200*(cr.spend(sp)+1) {
 		cr.done = true
+	}
+	// Hand the walker's candidate frontier to the pipelined access
+	// layer as a prefetch hint. This happens after all accounting for
+	// the step — warming only moves rows into the shared cache early
+	// and can never change what the chain observes.
+	if cr.warm != nil && cr.cands != nil {
+		if ns := cr.cands.Candidates(); len(ns) > 0 {
+			cr.warm.Warm(ns)
+		}
 	}
 	return Update{Chain: cr.idx, Node: v, Step: cr.steps, Spent: cr.spend(sp), Sampled: sampled}, true, nil
 }
@@ -1016,12 +1167,15 @@ func merge(sp *Spec, chains []*chainRun) (*Result, error) {
 		res.TotalSteps += cr.steps
 		res.TotalQueries += c.Queries
 		if sp.shared == nil {
-			// Isolated caches: every chain pays the network for its own
-			// fetches, so the global cost is the sum of the chains'.
-			if cr.sim != nil {
-				res.GlobalQueries += cr.sim.QueryCost()
-			} else {
-				res.GlobalQueries += cr.client.QueryCost() - cr.base
+			if sp.pipe == nil {
+				// Isolated caches: every chain pays the network for its
+				// own fetches, so the global cost is the sum of the
+				// chains'.
+				if cr.sim != nil {
+					res.GlobalQueries += cr.sim.QueryCost()
+				} else {
+					res.GlobalQueries += cr.client.QueryCost() - cr.base
+				}
 			}
 			res.GlobalRequests += c.Requests
 		}
@@ -1033,6 +1187,19 @@ func merge(sp *Spec, chains []*chainRun) (*Result, error) {
 		res.GlobalRequests = sp.shared.TotalRequests()
 		res.CrossChainHits = sp.shared.CrossChainHits()
 		res.CrossChainHitRate = sp.shared.HitRate()
+	}
+	if sp.pipe != nil {
+		// Pipelined mode: the pipeline's counters are the network
+		// ledger. GlobalQueries is every fetch it issued (speculative
+		// waste included — see the Result field docs); the hit fields
+		// count chain-locally-new demands that needed no fresh fetch.
+		st := sp.pipe.Stats()
+		res.Pipeline = &st
+		res.GlobalQueries = st.NetworkFetches
+		res.CrossChainHits = st.DemandSaves()
+		if denom := res.CrossChainHits + st.DemandMisses; denom > 0 {
+			res.CrossChainHitRate = float64(res.CrossChainHits) / float64(denom)
+		}
 	}
 	design := sp.design()
 	for e, es := range sp.Estimators {

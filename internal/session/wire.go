@@ -16,24 +16,30 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
+	"histwalk/internal/access/httpclient"
 	"histwalk/internal/dataset"
 	"histwalk/internal/engine"
 	"histwalk/internal/graph"
+	"histwalk/internal/graphstore"
 	"histwalk/internal/registry"
 )
 
-// SpecJSON is the serializable description of one Graph-mode sampling
-// run. Zero-valued optional fields select the same defaults as the
-// corresponding Spec fields. Client mode (walking a live transport) is
-// inherently unserializable and therefore has no wire form.
+// SpecJSON is the serializable description of one sampling run: a
+// Graph-mode run over a named dataset, or — with a Transport entry of
+// kind "http" — a live crawl of a remote JSON neighbor-list endpoint.
+// Zero-valued optional fields select the same defaults as the
+// corresponding Spec fields. Client mode (walking an in-process
+// access.Client) is inherently unserializable and has no wire form.
 type SpecJSON struct {
 	// Dataset names the built-in dataset stand-in to sample (see
 	// dataset.Names), constructed with the run's Seed — or a path to a
 	// packed .hwg binary graph store, opened via mmap (the out-of-core
 	// mode; the seed then only drives the walk). Results are
 	// bit-identical between a packed graph and a heap graph with the
-	// same contents.
+	// same contents. Required except under a Transport of kind "http",
+	// which replaces the dataset with a remote endpoint.
 	Dataset string `json:"dataset"`
 	// Walker names the algorithm (see registry.WalkerNames).
 	Walker string `json:"walker"`
@@ -77,6 +83,51 @@ type SpecJSON struct {
 	Confidence float64 `json:"confidence,omitempty"`
 	// CIBatch is the batch-means batch size (0 = 50).
 	CIBatch int `json:"ci_batch,omitempty"`
+	// Transport, when present, selects the pipelined access layer; see
+	// TransportJSON.
+	Transport *TransportJSON `json:"transport,omitempty"`
+}
+
+// TransportJSON is the wire form of the access pipeline configuration:
+// how chains reach the network, and how aggressively the pipeline
+// speculates.
+//
+// Kind "sim" keeps the named dataset as the network but reads it
+// through the pipelined access layer with a simulated per-fetch
+// latency — the latency-hiding measurement mode. Chain trajectories,
+// RNG consumption and per-chain query costs are bit-identical to the
+// same spec without the transport entry, for any window and latency.
+//
+// Kind "http" crawls a live JSON neighbor-list endpoint (see
+// internal/access/httpclient for the wire format and retry policy)
+// instead of a dataset. Resolution stays deterministic — the same
+// bytes build the same run — but what the remote endpoint serves is
+// outside the replay guarantee.
+type TransportJSON struct {
+	// Kind is "sim" or "http".
+	Kind string `json:"kind"`
+	// Window is the speculative in-flight window (0 = no speculation;
+	// the shared row cache and single-flight dedup remain).
+	Window int `json:"window,omitempty"`
+	// LatencyMS is the simulated per-fetch latency in milliseconds
+	// (kind "sim" only).
+	LatencyMS float64 `json:"latency_ms,omitempty"`
+	// URL is the endpoint root, e.g. "https://api.example.com" (kind
+	// "http", required).
+	URL string `json:"url,omitempty"`
+	// AuthHeader and AuthValue, when both set, are attached to every
+	// request (kind "http").
+	AuthHeader string `json:"auth_header,omitempty"`
+	AuthValue  string `json:"auth_value,omitempty"`
+	// Retries overrides the transient-failure retry count (0 = default,
+	// negative = no retries; kind "http").
+	Retries int `json:"retries,omitempty"`
+	// BackoffMS overrides the base retry backoff in milliseconds (kind
+	// "http").
+	BackoffMS float64 `json:"backoff_ms,omitempty"`
+	// Start is the chains' start node (kind "http"; a remote network
+	// has no node count to draw a random start from).
+	Start int64 `json:"start,omitempty"`
 }
 
 // EstimatorJSON is the serializable form of an EstimatorSpec. For
@@ -227,17 +278,25 @@ func designByName(name string) (DesignChoice, error) {
 // outside w is consulted — so Run on the returned Spec is bit-identical
 // wherever the same SpecJSON is resolved.
 func (w SpecJSON) Spec() (Spec, error) {
-	if w.Dataset == "" {
+	httpMode := w.Transport != nil && strings.EqualFold(w.Transport.Kind, "http")
+	if httpMode && w.Dataset != "" {
+		return Spec{}, errors.New("session: an http transport replaces the dataset; set exactly one of them")
+	}
+	if !httpMode && w.Dataset == "" {
 		return Spec{}, fmt.Errorf("session: wire spec requires a dataset (have: %s)",
 			strings.Join(dataset.Names(), ", "))
 	}
-	src, err := dataset.OpenStore(w.Dataset, w.Seed)
-	if err != nil {
-		if dataset.IsStoreFile(w.Dataset) {
-			return Spec{}, fmt.Errorf("session: opening graph store %q: %w", w.Dataset, err)
+	var src graphstore.Store
+	if !httpMode {
+		var err error
+		src, err = dataset.OpenStore(w.Dataset, w.Seed)
+		if err != nil {
+			if dataset.IsStoreFile(w.Dataset) {
+				return Spec{}, fmt.Errorf("session: opening graph store %q: %w", w.Dataset, err)
+			}
+			return Spec{}, fmt.Errorf("session: unknown dataset %q (have: %s)",
+				w.Dataset, strings.Join(dataset.Names(), ", "))
 		}
-		return Spec{}, fmt.Errorf("session: unknown dataset %q (have: %s)",
-			w.Dataset, strings.Join(dataset.Names(), ", "))
 	}
 	factory, err := registry.WalkerByName(w.Walker, registry.WalkerOptions{Groups: w.Groups})
 	if err != nil {
@@ -288,12 +347,44 @@ func (w SpecJSON) Spec() (Spec, error) {
 		Confidence: w.Confidence,
 		CIBatch:    w.CIBatch,
 	}
+	if w.Transport != nil {
+		t := w.Transport
+		spec.Window = t.Window
+		switch strings.ToLower(t.Kind) {
+		case "sim":
+			if t.URL != "" || t.AuthHeader != "" || t.AuthValue != "" || t.Retries != 0 || t.BackoffMS != 0 || t.Start != 0 {
+				return Spec{}, errors.New("session: transport kind \"sim\" takes only window and latency_ms")
+			}
+			if t.LatencyMS < 0 {
+				return Spec{}, errors.New("session: transport latency_ms must be >= 0")
+			}
+			spec.Latency = time.Duration(t.LatencyMS * float64(time.Millisecond))
+		case "http":
+			if t.LatencyMS != 0 {
+				return Spec{}, errors.New("session: transport kind \"http\" has real latency; latency_ms applies to \"sim\"")
+			}
+			hc, err := httpclient.New(httpclient.Config{
+				BaseURL:     t.URL,
+				AuthHeader:  t.AuthHeader,
+				AuthValue:   t.AuthValue,
+				MaxRetries:  t.Retries,
+				BackoffBase: time.Duration(t.BackoffMS * float64(time.Millisecond)),
+			})
+			if err != nil {
+				return Spec{}, fmt.Errorf("session: transport: %w", err)
+			}
+			spec.Transport = hc
+			spec.Start = graph.Node(t.Start)
+		default:
+			return Spec{}, fmt.Errorf("session: unknown transport kind %q (use sim or http)", t.Kind)
+		}
+	}
 	// Built-in names resolve to a heap graph and populate Graph (so
 	// callers inspecting the concrete dataset keep working); .hwg paths
 	// resolve to the mmap backend and populate Store.
 	if g, ok := src.(*graph.Graph); ok {
 		spec.Graph = g
-	} else {
+	} else if src != nil {
 		spec.Store = src
 	}
 	if err := spec.Validate(); err != nil {

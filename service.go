@@ -41,6 +41,10 @@ type (
 	SpecJSON = session.SpecJSON
 	// EstimatorJSON is the serializable form of an EstimatorSpec.
 	EstimatorJSON = session.EstimatorJSON
+	// TransportJSON is the wire form of the access-pipeline
+	// configuration: speculation window plus either a simulated
+	// per-fetch latency ("sim") or a live HTTP endpoint ("http").
+	TransportJSON = session.TransportJSON
 )
 
 // Job lifecycle states.
