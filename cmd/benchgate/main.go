@@ -29,7 +29,9 @@
 // A baseline with "max_allocs_per_step": -1 disables the allocation
 // and bytes gates (and the -benchmem requirement) — used by baselines
 // whose benchmarks measure wall-clock crawls, not per-step allocation
-// (BENCH_access.json).
+// (BENCH_access.json). An explicit 0 gates at exactly zero allocs/op
+// (BENCH_obs.json's metric record paths); omitting the field keeps the
+// legacy gate of 1.
 //
 // Usage:
 //
@@ -52,7 +54,11 @@ import (
 // baselineFile mirrors the machine-readable part of BENCH_core.json.
 type baselineFile struct {
 	Gate struct {
-		MaxAllocsPerStep float64 `json:"max_allocs_per_step"`
+		// MaxAllocsPerStep is a pointer so an explicit 0 gates at
+		// exactly zero allocs/op (BENCH_obs.json's record-path
+		// contract) while an absent field keeps the legacy default of
+		// 1; -1 disables the alloc/bytes gates.
+		MaxAllocsPerStep *float64 `json:"max_allocs_per_step"`
 		// MaxBPerStep gates bytes per op; 0 (absent) disables the gate.
 		MaxBPerStep float64 `json:"max_b_per_step"`
 	} `json:"gate"`
@@ -140,9 +146,9 @@ func run(in io.Reader, out io.Writer, baselinePath, prefix string) (failures int
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return 0, fmt.Errorf("benchgate: parsing baseline %s: %w", baselinePath, err)
 	}
-	gate := base.Gate.MaxAllocsPerStep
-	if gate == 0 {
-		gate = 1
+	gate := 1.0 // legacy default when the baseline omits the field
+	if base.Gate.MaxAllocsPerStep != nil {
+		gate = *base.Gate.MaxAllocsPerStep
 	}
 	memGated := gate >= 0 // -1 disables the alloc/bytes gates entirely
 	results, err := parseBench(in)

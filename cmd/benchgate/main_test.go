@@ -128,6 +128,66 @@ func TestGateErrorsOnEmptyInput(t *testing.T) {
 	}
 }
 
+// An explicit "max_allocs_per_step": 0 must gate at exactly zero (the
+// obs record-path contract), while a baseline that omits the field
+// keeps the legacy gate of 1.
+func TestZeroAllocGate(t *testing.T) {
+	zeroBaseline := `{
+  "gate": {"max_allocs_per_step": 0},
+  "benchmarks": {"BenchmarkObsRecord/counter": {"ns_per_op": 6.0, "allocs_per_op": 0}}
+}`
+	p := filepath.Join(t.TempDir(), "BENCH_obs.json")
+	if err := os.WriteFile(p, []byte(zeroBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	failures, err := run(strings.NewReader(
+		`BenchmarkObsRecord/counter-8 	 2000000	       6.1 ns/op	       0 B/op	       0 allocs/op`),
+		&out, p, "BenchmarkObsRecord/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("0 allocs/op under a 0 gate: failures = %d, want 0\n%s", failures, out.String())
+	}
+
+	out.Reset()
+	failures, err = run(strings.NewReader(
+		`BenchmarkObsRecord/counter-8 	 2000000	       6.1 ns/op	       8 B/op	       1 allocs/op`),
+		&out, p, "BenchmarkObsRecord/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures == 0 {
+		t.Fatalf("1 alloc/op under a 0 gate must fail\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ALLOC GATE FAILED") {
+		t.Fatalf("failure not reported:\n%s", out.String())
+	}
+}
+
+func TestOmittedAllocGateDefaultsToOne(t *testing.T) {
+	noGateBaseline := `{
+  "gate": {},
+  "benchmarks": {"BenchmarkWalkStep/SRW": {"ns_per_op": 26.1, "allocs_per_op": 0}}
+}`
+	p := filepath.Join(t.TempDir(), "BENCH_legacy.json")
+	if err := os.WriteFile(p, []byte(noGateBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	failures, err := run(strings.NewReader(
+		`BenchmarkWalkStep/SRW-8 	 1000000	       26.3 ns/op	       8 B/op	       1 allocs/op`),
+		&out, p, "BenchmarkWalkStep/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("1 alloc/op under the legacy default gate of 1: failures = %d, want 0\n%s", failures, out.String())
+	}
+}
+
 const pipelineBaseline = `{
   "gate": {"max_allocs_per_step": -1},
   "benchmarks": {

@@ -9,6 +9,7 @@
 //
 //	histwalkd [-addr 127.0.0.1:8080] [-max-concurrent N]
 //	          [-queue N] [-store N] [-drain 30s]
+//	          [-pprof] [-trace spans.jsonl]
 //
 // API (JSON; see internal/service for the full contract):
 //
@@ -18,7 +19,15 @@
 //	GET    /v1/jobs/{id}/events SSE progress stream
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/metrics          service counters
-//	GET    /healthz             liveness
+//	GET    /metrics             Prometheus text exposition
+//	GET    /healthz             liveness + build info
+//	GET    /debug/pprof/        runtime profiles (with -pprof only)
+//
+// -trace streams JSONL lifecycle spans (job queued/running/terminal,
+// chain start/milestone/finish, pipeline fetch begin/end) to a file;
+// -pprof mounts net/http/pprof under /debug/pprof/. Neither affects
+// any job's Result — instrumentation consumes no RNG and trajectories
+// stay bit-identical.
 //
 // Example:
 //
@@ -38,6 +47,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,8 +75,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	queueDepth := fs.Int("queue", 0, "admission queue depth (0 = 256)")
 	storeLimit := fs.Int("store", 0, "jobs kept in memory before terminal ones are evicted (0 = 1024)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-drain budget on shutdown")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	traceFile := fs.String("trace", "", "write JSONL lifecycle trace spans to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("opening -trace file: %w", err)
+		}
+		tr := histwalk.NewTracer(f)
+		histwalk.SetTracer(tr)
+		defer func() {
+			histwalk.SetTracer(nil)
+			tr.Close()
+		}()
 	}
 
 	mgr := histwalk.NewManager(histwalk.ManagerOptions{
@@ -74,7 +99,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		QueueDepth:    *queueDepth,
 		StoreLimit:    *storeLimit,
 	})
-	srv := &http.Server{Handler: histwalk.NewServiceHandler(mgr)}
+	handler := histwalk.NewServiceHandler(mgr)
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -298,8 +299,170 @@ func TestDaemonHTTPTransportJob(t *testing.T) {
 	if fin.Result.Pipeline == nil || fin.Result.Pipeline.NetworkFetches == 0 {
 		t.Fatalf("result missing pipeline stats: %+v", fin.Result.Pipeline)
 	}
+	// The status itself also surfaces the pipeline's final wire-side
+	// accounting, so clients can read fetch/dedup behavior without
+	// digging into the Result.
+	if fin.Pipeline == nil || fin.Pipeline.NetworkFetches == 0 {
+		t.Fatalf("job status missing pipeline stats: %+v", fin.Pipeline)
+	}
 
 	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}
+
+// TestDaemonObservability exercises the ops surface over real HTTP:
+// /healthz must report build info, /metrics must serve the Prometheus
+// text exposition with the service/engine/runtime metric families, and
+// /debug/pprof/ must be mounted when (and only when) -pprof is set.
+func TestDaemonObservability(t *testing.T) {
+	base, stop := startDaemon(t, "-pprof")
+
+	// Run one tiny job so the scrape below reflects real activity.
+	body, err := json.Marshal(histwalk.SpecJSON{
+		Dataset: "clustered", Walker: "srw", Budget: 30, Chains: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st histwalk.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur histwalk.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if cur.State == histwalk.JobDone {
+			break
+		}
+		if cur.State != histwalk.JobQueued && cur.State != histwalk.JobRunning {
+			t.Fatalf("job ended %s (%s)", cur.State, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", cur.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// /healthz: liveness plus build identification.
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h histwalk.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.GoVersion == "" {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, h)
+	}
+
+	// /metrics: Prometheus text exposition with the instrumented
+	// families from the service, engine, session, and runtime.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	text := string(raw)
+	// The registry is process-wide, so counters accumulate across the
+	// tests in this binary: assert relations, not exact totals.
+	metric := func(name string) float64 {
+		t.Helper()
+		for _, line := range strings.Split(text, "\n") {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				v, err := strconv.ParseFloat(rest, 64)
+				if err != nil {
+					t.Fatalf("metric %s: bad value %q", name, rest)
+				}
+				return v
+			}
+		}
+		t.Fatalf("exposition missing %s:\n%s", name, text)
+		return 0
+	}
+	if v := metric("histwalk_jobs_submitted_total"); v < 1 {
+		t.Errorf("jobs_submitted_total = %v, want >= 1", v)
+	}
+	if v := metric("histwalk_jobs_done_total"); v < 1 {
+		t.Errorf("jobs_done_total = %v, want >= 1", v)
+	}
+	// Every job this process ran is terminal, so the state gauges must
+	// have returned to zero — they are exact, not monotone.
+	if v := metric("histwalk_jobs_running"); v != 0 {
+		t.Errorf("jobs_running = %v, want 0", v)
+	}
+	if v := metric("histwalk_jobs_queued"); v != 0 {
+		t.Errorf("jobs_queued = %v, want 0", v)
+	}
+	if v := metric("histwalk_job_run_seconds_count"); v < 1 {
+		t.Errorf("job_run_seconds_count = %v, want >= 1", v)
+	}
+	started, finished := metric("histwalk_chains_started_total"), metric("histwalk_chains_finished_total")
+	if started < 2 || finished != started {
+		t.Errorf("chains started/finished = %v/%v, want >= 2 and equal", started, finished)
+	}
+	if v := metric("histwalk_engine_trials_started_total"); v < 1 {
+		t.Errorf("engine_trials_started_total = %v, want >= 1", v)
+	}
+	if v := metric("histwalk_runtime_goroutines"); v < 1 {
+		t.Errorf("runtime_goroutines = %v, want >= 1", v)
+	}
+	if t.Failed() {
+		t.Fatalf("exposition was:\n%s", text)
+	}
+
+	// pprof is mounted because the daemon was started with -pprof.
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with -pprof: %d", resp.StatusCode)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+
+	// Without -pprof the profiling surface must not exist.
+	base2, stop2 := startDaemon(t)
+	resp, err = http.Get(base2 + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without -pprof: %d, want 404", resp.StatusCode)
+	}
+	if err := stop2(); err != nil {
 		t.Fatalf("graceful shutdown: %v", err)
 	}
 }

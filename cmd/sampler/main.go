@@ -89,7 +89,24 @@ func main() {
 	startNode := flag.Int64("start", 0, "start node for -endpoint crawls (every chain starts here)")
 	authHeader := flag.String("auth-header", "", "HTTP header name attached to every -endpoint request")
 	authValue := flag.String("auth-value", "", "value for -auth-header")
+	traceFile := flag.String("trace", "", "write JSONL lifecycle trace spans (chain start/finish, pipeline fetches) to this file")
 	flag.Parse()
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fail(fmt.Errorf("opening -trace file: %w", err))
+		}
+		tr := histwalk.NewTracer(f)
+		histwalk.SetTracer(tr)
+		// Tracing consumes no RNG and feeds nothing back into the walk:
+		// the run's estimates and query costs are bit-identical with or
+		// without -trace.
+		defer func() {
+			histwalk.SetTracer(nil)
+			tr.Close()
+		}()
+	}
 
 	if *chains < 1 {
 		fail(fmt.Errorf("-chains must be >= 1, got %d", *chains))

@@ -34,6 +34,18 @@ import (
 	"histwalk/internal/access"
 	"histwalk/internal/graph"
 	"histwalk/internal/graphstore"
+	"histwalk/internal/obs"
+)
+
+// Process-wide transport counters (see internal/obs): requests counts
+// every HTTP round trip attempted, retries the subset re-issued after
+// a transient failure — their ratio is the live health of the remote
+// API's rate limiting.
+var (
+	obsHTTPRequests = obs.Default.Counter("histwalk_http_requests_total",
+		"HTTP neighbor-list round trips attempted (including retries).")
+	obsHTTPRetries = obs.Default.Counter("histwalk_http_retries_total",
+		"HTTP round trips re-issued after a transient failure.")
 )
 
 // Default transport tuning. Real OSN rate limits operate on the scale
@@ -143,6 +155,10 @@ func (c *Client) Fetch(ctx context.Context, u graph.Node) (access.Row, error) {
 	url := c.base + "/v1/neighbors/" + strconv.FormatInt(int64(u), 10)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		obsHTTPRequests.Inc()
+		if attempt > 0 {
+			obsHTTPRetries.Inc()
+		}
 		row, retryAfter, err := c.once(ctx, url, u)
 		if err == nil {
 			return row, nil

@@ -1,0 +1,30 @@
+package access
+
+// The pipelined access layer's obs instrumentation. The counters
+// mirror the Prefetcher's own atomic statistics onto the process-wide
+// registry (a Prefetcher is per-run and dies with it; the registry
+// counters aggregate across every pipeline the process ever ran, which
+// is what an operator watching warm-hit decay wants). The histogram
+// and gauge sit directly on the fetch path: Observe and Add are
+// zero-allocation atomics, and nothing here consumes RNG or feeds back
+// into chain-visible state, so trajectories stay bit-identical with
+// instrumentation enabled.
+
+import "histwalk/internal/obs"
+
+var (
+	obsFetchSeconds = obs.Default.Histogram("histwalk_fetch_seconds",
+		"Transport fetch latency (demand and speculative).")
+	obsFetchTotal = obs.Default.Counter("histwalk_fetch_total",
+		"Network fetches issued to transports (demand and speculative).")
+	obsFetchSpeculative = obs.Default.Counter("histwalk_fetch_speculative_total",
+		"Network fetches issued speculatively by Warm.")
+	obsFetchInflight = obs.Default.Gauge("histwalk_fetch_inflight_speculative",
+		"Speculative fetches currently occupying in-flight window slots.")
+	obsDemandMiss = obs.Default.Counter("histwalk_demand_miss_total",
+		"Chain-locally-new demands that fetched inline (full stall).")
+	obsDemandJoin = obs.Default.Counter("histwalk_demand_join_total",
+		"Chain-locally-new demands that joined an in-flight fetch.")
+	obsDemandWarm = obs.Default.Counter("histwalk_demand_warm_total",
+		"Chain-locally-new demands served from an already-warm row.")
+)

@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"histwalk/internal/graph"
+	"histwalk/internal/obs"
 )
 
 // warmDepth is how many hops of speculative frontier the Prefetcher
@@ -129,10 +131,27 @@ func (p *Prefetcher) Close() {
 // fetch performs the network fetch for u into e and publishes the
 // result. On failure the entry is removed from the cache (after its
 // error is published), so a later demand retries the node instead of
-// serving a stale speculative error forever.
-func (p *Prefetcher) fetch(u graph.Node, e *rowEntry) {
+// serving a stale speculative error forever. speculative distinguishes
+// Warm's window-slot fetches from inline demand fetches in the fetch
+// trace spans; both feed the same latency histogram.
+func (p *Prefetcher) fetch(u graph.Node, e *rowEntry, speculative bool) {
 	p.fetches.Add(1)
+	obsFetchTotal.Inc()
+	tr := obs.ActiveTracer()
+	if tr != nil {
+		tr.Emit("fetch.begin", obs.F{"node": int64(u), "speculative": speculative})
+	}
+	t0 := time.Now()
 	row, err := p.t.Fetch(p.ctx, u)
+	d := time.Since(t0)
+	obsFetchSeconds.Observe(d)
+	if tr != nil {
+		f := obs.F{"node": int64(u), "speculative": speculative, "secs": d.Seconds()}
+		if err != nil {
+			f["err"] = err.Error()
+		}
+		tr.Emit("fetch.end", f)
+	}
 	if err != nil {
 		e.err = err
 		close(e.done)
@@ -162,20 +181,23 @@ func (p *Prefetcher) demand(u graph.Node, counted bool) (Row, error) {
 		p.mu.Unlock()
 		if counted {
 			p.demandMiss.Add(1)
+			obsDemandMiss.Inc()
 		}
 		// Run the fetch inline: the chain blocks on this row anyway,
 		// exactly like the synchronous path.
-		p.fetch(u, e)
+		p.fetch(u, e, false)
 	} else {
 		p.mu.Unlock()
 		select {
 		case <-e.done:
 			if counted {
 				p.demandWarm.Add(1)
+				obsDemandWarm.Inc()
 			}
 		default:
 			if counted {
 				p.demandJoin.Add(1)
+				obsDemandJoin.Inc()
 			}
 			<-e.done
 		}
@@ -265,6 +287,7 @@ func (p *Prefetcher) warm(ns []graph.Node, depth int) {
 			}
 			select {
 			case p.slots <- struct{}{}:
+				obsFetchInflight.Add(1)
 			default:
 				return // window full — drop the rest of the hint
 			}
@@ -272,17 +295,22 @@ func (p *Prefetcher) warm(ns []graph.Node, depth int) {
 			if _, raced := p.rows[u]; raced {
 				p.mu.Unlock()
 				<-p.slots
+				obsFetchInflight.Add(-1)
 				continue // a sibling inserted u between the lookup and here
 			}
 			e = &rowEntry{done: make(chan struct{})}
 			p.rows[u] = e
 			p.mu.Unlock()
 			p.speculative.Add(1)
+			obsFetchSpeculative.Inc()
 			p.wg.Add(1)
 			go func(u graph.Node, e *rowEntry) {
 				defer p.wg.Done()
-				defer func() { <-p.slots }()
-				p.fetch(u, e)
+				defer func() {
+					<-p.slots
+					obsFetchInflight.Add(-1)
+				}()
+				p.fetch(u, e, true)
 			}(u, e)
 		}
 		frontier = next

@@ -19,6 +19,19 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"histwalk/internal/obs"
+)
+
+// Process-wide pool counters (see internal/obs): started counts every
+// task the pool dispatched, completed the ones whose fn returned
+// without error. The gap between them is failures plus work currently
+// in flight — a wedged daemon shows up as a gap that never closes.
+var (
+	obsTrialsStarted = obs.Default.Counter("histwalk_engine_trials_started_total",
+		"Tasks dispatched by the worker pool.")
+	obsTrialsCompleted = obs.Default.Counter("histwalk_engine_trials_completed_total",
+		"Tasks that returned without error.")
 )
 
 // Options configures an Engine.
@@ -77,9 +90,11 @@ func (e *Engine) Each(ctx context.Context, n int, fn func(ctx context.Context, i
 			if err := ctx.Err(); err != nil {
 				return context.Cause(ctx)
 			}
+			obsTrialsStarted.Inc()
 			if err := fn(ctx, i); err != nil {
 				return err
 			}
+			obsTrialsCompleted.Inc()
 			if e.opts.Progress != nil {
 				e.opts.Progress(i+1, n)
 			}
@@ -106,6 +121,7 @@ func (e *Engine) Each(ctx context.Context, n int, fn func(ctx context.Context, i
 				if i >= n || ctx.Err() != nil {
 					return
 				}
+				obsTrialsStarted.Inc()
 				if err := fn(ctx, i); err != nil {
 					mu.Lock()
 					if firstIdx < 0 || i < firstIdx {
@@ -115,6 +131,7 @@ func (e *Engine) Each(ctx context.Context, n int, fn func(ctx context.Context, i
 					cancel()
 					return
 				}
+				obsTrialsCompleted.Inc()
 				if e.opts.Progress != nil {
 					mu.Lock()
 					done++

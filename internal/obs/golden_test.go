@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/exposition.golden")
+
+// TestPrometheusExpositionGolden pins the full exposition byte-for-byte
+// against a golden file: HELP/TYPE ordering, name sorting, integer vs
+// float rendering, cumulative histogram buckets with trailing-bucket
+// elision, and the +Inf/sum/count tail. A fresh registry (no runtime
+// gauges) keeps the output deterministic.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("histwalk_demo_fetches_total", "Total fetches issued.")
+	c.Add(42)
+	r.Counter("histwalk_demo_nohelp_total", "") // no HELP line
+	g := r.Gauge("histwalk_demo_inflight", "Speculative fetches in flight.")
+	g.Set(3)
+	r.GaugeFunc("histwalk_demo_ratio", "A scrape-time float.", func() float64 { return 0.5 })
+	r.CounterFunc("histwalk_demo_scrapes_total", "A scrape-time counter.", func() float64 { return 7 })
+	h := r.Histogram("histwalk_demo_fetch_seconds", "Fetch latency.")
+	h.Observe(0)
+	h.Observe(1)                      // bucket 1
+	h.Observe(900 * time.Nanosecond)  // bucket 10
+	h.Observe(time.Microsecond)       // bucket 10
+	h.Observe(3 * time.Millisecond)   // bucket 22
+	h.Observe(time.Duration(1) << 38) // overflow bucket
+	empty := r.Histogram("histwalk_demo_empty_seconds", "Never observed.")
+	_ = empty
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,316 @@
+// Package obs is the process-wide observability substrate: a metrics
+// registry whose record paths (counter increment, gauge set, histogram
+// observation) are zero-allocation atomic operations — cheap enough to
+// sit on the access hot path without breaking the walk's 0-alloc
+// contract — plus Prometheus text exposition (no external deps), a
+// JSONL span tracer for job/chain/fetch lifecycles (see trace.go), and
+// runtime gauges (goroutines, heap, GC pauses; see runtime.go).
+//
+// The house determinism invariant extends to this package by
+// construction: nothing here consumes RNG, takes locks on a record
+// path, or feeds back into a walker's decisions, so trajectories and
+// per-chain query costs are bit-identical with instrumentation enabled
+// (pinned by the session layer's observability parity test).
+//
+// Layering: obs depends only on the standard library, so every other
+// package (access, engine, session, service, the commands) can
+// instrument itself against the Default registry without import
+// cycles. Registration is cheap but not hot-path-safe (it takes the
+// registry lock); packages register their metrics once in package-level
+// vars and only touch the returned handles afterwards.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable; Inc/Add are single atomic adds (0 allocs). By Prometheus
+// convention counter names end in _total.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is a programming error and is ignored —
+// counters never go down).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (queue depths, in-flight
+// windows). The zero value is usable; Set/Add are single atomic ops.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the fixed bucket count of a Histogram: slots 0
+// through histBuckets-2 hold observations by bit length (bucket i
+// counts durations d with bits.Len64(d) == i, i.e. d in
+// [2^(i-1), 2^i-1] nanoseconds), and the last slot is the overflow
+// bucket. 39 log₂ boundaries span 1ns to (2^38-1)ns ≈ 275s — queue
+// waits, run durations and fetch latencies all land well inside.
+const histBuckets = 40
+
+// Histogram is a fixed-bucket log₂ latency histogram. Observe is
+// zero-allocation: one bits.Len64 plus three atomic adds, no locks —
+// safe for concurrent use and cheap enough for per-fetch call sites.
+// Bucket boundaries are powers of two in nanoseconds; the Prometheus
+// exposition renders them as seconds with cumulative counts.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i > histBuckets-1 {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Since records the elapsed time from t0, a convenience for the
+// common defer/latency pattern.
+func (h *Histogram) Since(t0 time.Time) { h.Observe(time.Since(t0)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Bucket returns the raw (non-cumulative) count of bucket i; i must be
+// in [0, histBuckets). Exposed for boundary tests.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i].Load() }
+
+// NumBuckets returns the fixed bucket count (including overflow).
+func NumBuckets() int { return histBuckets }
+
+// BucketUpperNs returns bucket i's inclusive upper bound in
+// nanoseconds (2^i - 1); the last bucket's bound is +Inf, reported as
+// -1 here.
+func BucketUpperNs(i int) int64 {
+	if i >= histBuckets-1 {
+		return -1
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// metricKind discriminates the registry's entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered entry.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	fn   func() float64
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Registration takes the registry lock and is meant
+// for package init; the returned handles are lock-free. Registering a
+// name twice returns the existing handle when the kinds match (so two
+// Managers in one process share the process-wide counters) and panics
+// on a kind mismatch — that is a programming error, not runtime input.
+type Registry struct {
+	mu    sync.Mutex
+	named map[string]*metric
+	order []*metric
+}
+
+// NewRegistry returns an empty registry. Most code uses Default; fresh
+// registries exist for tests (deterministic golden exposition) and for
+// embedding.
+func NewRegistry() *Registry {
+	return &Registry{named: make(map[string]*metric)}
+}
+
+// Default is the process-wide registry: every subsystem's package-level
+// metrics land here, and the service's GET /metrics endpoint serves it.
+// Runtime gauges are pre-registered (see runtime.go).
+var Default = NewRegistry()
+
+// register inserts or returns an existing entry.
+func (r *Registry) register(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.named[m.name]; ok {
+		if old.kind != m.kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", m.name, m.kind.promType(), old.kind.promType()))
+		}
+		return old
+	}
+	r.named[m.name] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter registers (or finds) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(&metric{name: name, help: help, kind: kindCounter, c: new(Counter)}).c
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(&metric{name: name, help: help, kind: kindGauge, g: new(Gauge)}).g
+}
+
+// Histogram registers (or finds) a log₂ latency histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.register(&metric{name: name, help: help, kind: kindHistogram, h: new(Histogram)}).h
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time
+// (runtime stats). fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGaugeFunc, fn: fn})
+}
+
+// CounterFunc registers a counter whose value is computed at scrape
+// time (monotone runtime totals, e.g. cumulative GC pause). fn must be
+// safe for concurrent use and non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindCounterFunc, fn: fn})
+}
+
+// formatFloat renders a sample value the way Prometheus text format
+// expects: shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), in name order. Values are
+// read atomically per sample; a scrape concurrent with traffic is
+// per-metric consistent, not globally consistent — the standard
+// Prometheus contract.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]*metric, len(r.order))
+	copy(ms, r.order)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	for _, m := range ms {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind.promType()); err != nil {
+			return err
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.g.Value())
+		case kindCounterFunc, kindGaugeFunc:
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.fn()))
+		case kindHistogram:
+			err = writeHistogram(w, m.name, m.h)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders h with cumulative le buckets in seconds. The
+// bucket array is snapshotted first and the total derived from the
+// snapshot, so the rendered cumulative counts and the +Inf bucket are
+// self-consistent even under concurrent observation (sum/count may lag
+// by in-flight observations — the standard scrape-skew contract).
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	var snap [histBuckets]int64
+	var total int64
+	for i := range snap {
+		snap[i] = h.Bucket(i)
+		total += snap[i]
+	}
+	var cum int64
+	for i := 0; i < histBuckets-1; i++ {
+		cum += snap[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+			name, formatFloat(float64(BucketUpperNs(i))/1e9), cum); err != nil {
+			return err
+		}
+		if cum == total && i >= 10 {
+			// Everything observed fits below this bound; the remaining
+			// finite buckets would repeat the same cumulative count, which
+			// cumulative semantics make redundant. (The first ~µs
+			// boundaries always render, so dashboards get a stable grid.)
+			break
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum().Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, total)
+	return err
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format — the GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,121 @@
+package obs
+
+// The structured trace layer: JSONL spans for job and chain lifecycles
+// (queued → running → terminal, chain start / step-milestone / finish)
+// and pipeline fetch begin/end events. One line per span, first-field
+// timestamp, deterministic key order (ts, ev, then sorted field names),
+// so traces diff cleanly and stream into jq/duckdb without a schema.
+//
+// Tracing is opt-in (histwalkd/sampler -trace <file>) and process
+// global: instrumented call sites do
+//
+//	if tr := obs.ActiveTracer(); tr != nil {
+//	    tr.Emit("chain.finish", obs.F{"chain": c, "steps": n})
+//	}
+//
+// so the disabled path is one atomic pointer load and a branch — no
+// field map is ever built. An enabled tracer allocates per span; that
+// is fine, because tracing never sits inside the walk's zero-alloc
+// step contract (spans mark lifecycle edges and network fetches, not
+// transitions) and, like the metrics layer, consumes no RNG and feeds
+// nothing back into walker decisions — trajectories are bit-identical
+// with tracing on, pinned by the session parity test.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// F is one span's fields: JSON-encodable values keyed by short names.
+type F map[string]any
+
+// Tracer appends JSONL spans to a writer. It is safe for concurrent
+// use; spans from different goroutines serialize on an internal mutex
+// (trace volume is lifecycle-scale, not step-scale, so the lock is not
+// contended on any hot path).
+type Tracer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer // non-nil when Close should close the sink
+	now func() time.Time
+}
+
+// NewTracer returns a tracer writing spans to w. If w is also an
+// io.Closer, Close closes it after the final flush.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{bw: bufio.NewWriter(w), now: time.Now}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// Emit appends one span: {"ts":..., "ev":..., <fields in sorted key
+// order>}. Unencodable field values render as their error string
+// rather than dropping the span.
+func (t *Tracer) Emit(ev string, fields F) {
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bw.WriteString(`{"ts":`)
+	t.writeJSON(t.now().UTC().Format(time.RFC3339Nano))
+	t.bw.WriteString(`,"ev":`)
+	t.writeJSON(ev)
+	for _, k := range keys {
+		t.bw.WriteByte(',')
+		t.writeJSON(k)
+		t.bw.WriteByte(':')
+		t.writeJSON(fields[k])
+	}
+	t.bw.WriteString("}\n")
+}
+
+// writeJSON encodes v onto the buffered writer. Callers hold t.mu.
+func (t *Tracer) writeJSON(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(err.Error())
+	}
+	t.bw.Write(b)
+}
+
+// Flush pushes buffered spans to the sink.
+func (t *Tracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bw.Flush()
+}
+
+// Close flushes and, when the sink is a Closer, closes it.
+func (t *Tracer) Close() error {
+	if err := t.Flush(); err != nil {
+		if t.c != nil {
+			t.c.Close()
+		}
+		return err
+	}
+	if t.c != nil {
+		return t.c.Close()
+	}
+	return nil
+}
+
+// active is the process-wide tracer; nil means tracing is off.
+var active atomic.Pointer[Tracer]
+
+// SetTracer installs (or, with nil, removes) the process-wide tracer.
+// It does not close the previous tracer — the installer owns both.
+func SetTracer(t *Tracer) { active.Store(t) }
+
+// ActiveTracer returns the process-wide tracer, or nil when tracing is
+// off. The nil check at the call site is the entire disabled-path cost.
+func ActiveTracer() *Tracer { return active.Load() }

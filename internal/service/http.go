@@ -9,7 +9,8 @@ package service
 //	GET    /v1/jobs/{id}/events per-chain progress stream     → 200 SSE
 //	DELETE /v1/jobs/{id}        cancel                        → 200 JobStatus
 //	GET    /v1/metrics          service counters              → 200 Metrics
-//	GET    /healthz             liveness                      → 200
+//	GET    /metrics             process registry              → 200 Prometheus text
+//	GET    /healthz             liveness + build info         → 200 Health
 //
 // The event stream is Server-Sent Events: each Event goes out as one
 // SSE message whose id is the event's per-job sequence number and whose
@@ -22,8 +23,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 
+	"histwalk/internal/obs"
 	"histwalk/internal/session"
 )
 
@@ -151,9 +155,53 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, m.Metrics())
 	})
 
+	mux.Handle("GET /metrics", obs.Default.Handler())
+
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, health())
 	})
 
 	return mux
+}
+
+// Health is the /healthz payload: liveness plus enough build identity
+// to tell which binary an operator is talking to.
+type Health struct {
+	// Status is always "ok" when the handler answers at all.
+	Status string `json:"status"`
+	// GoVersion is the toolchain the binary was built with.
+	GoVersion string `json:"go_version"`
+	// Module and Version identify the main module (Version is
+	// "(devel)" for non-tagged builds).
+	Module  string `json:"module,omitempty"`
+	Version string `json:"version,omitempty"`
+	// Revision/RevisionTime/Modified carry the VCS stamp when the
+	// binary was built inside a checkout (debug.ReadBuildInfo's
+	// vcs.* settings; absent under plain `go test`).
+	Revision     string `json:"vcs_revision,omitempty"`
+	RevisionTime string `json:"vcs_time,omitempty"`
+	Modified     bool   `json:"vcs_modified,omitempty"`
+}
+
+// health assembles the build/version payload from the binary's
+// embedded build info.
+func health() Health {
+	h := Health{Status: "ok", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return h
+	}
+	h.Module = bi.Main.Path
+	h.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			h.Revision = s.Value
+		case "vcs.time":
+			h.RevisionTime = s.Value
+		case "vcs.modified":
+			h.Modified = s.Value == "true"
+		}
+	}
+	return h
 }

@@ -6,10 +6,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -274,4 +276,94 @@ func TestHTTPErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("DELETE terminal job = %d, want 409", resp.StatusCode)
 	}
+}
+
+// TestHealthzBuildInfo pins the /healthz payload shape: liveness plus
+// build identity. Go version is always present; VCS fields depend on
+// how the binary was built and stay optional.
+func TestHealthzBuildInfo(t *testing.T) {
+	srv, _ := testServer(t, Options{MaxConcurrent: 1})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+	var h Health
+	dec := json.NewDecoder(resp.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q", h.Status)
+	}
+	if h.GoVersion == "" || !strings.HasPrefix(h.GoVersion, "go") {
+		t.Fatalf("go_version = %q", h.GoVersion)
+	}
+	if h.Module == "" {
+		t.Fatalf("module = %q", h.Module)
+	}
+}
+
+// TestMetricsScrapeConcurrent hammers both metric surfaces — the
+// Prometheus exposition at /metrics and the JSON counters at
+// /v1/metrics — while jobs are admitted, run, and drained. Run under
+// -race (as CI does), this pins that every record path and both scrape
+// paths are safe against each other and against the job lifecycle.
+func TestMetricsScrapeConcurrent(t *testing.T) {
+	srv, m := testServer(t, Options{MaxConcurrent: 2, QueueDepth: 64})
+
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stopScrape:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("histwalk_jobs_submitted_total")) {
+					t.Errorf("scrape: %d", resp.StatusCode)
+					return
+				}
+				var met Metrics
+				if code := getJSON(t, srv.URL+"/v1/metrics", &met); code != http.StatusOK {
+					t.Errorf("GET /v1/metrics = %d", code)
+					return
+				}
+			}
+		}()
+	}
+
+	var ids []string
+	for i := 0; i < 8; i++ {
+		ids = append(ids, postJob(t, srv.URL, wire(int64(100+i))).ID)
+	}
+	for _, id := range ids {
+		fin := await(t, m, id)
+		if fin.State != StateDone {
+			t.Fatalf("job %s ended %s (%s)", id, fin.State, fin.Error)
+		}
+	}
+	// Keep scraping through the drain itself, then stop.
+	shutdown(t, m)
+	close(stopScrape)
+	scrapeWG.Wait()
 }

@@ -9,7 +9,9 @@ package service
 import (
 	"context"
 	"sync"
+	"time"
 
+	"histwalk/internal/access"
 	"histwalk/internal/session"
 )
 
@@ -107,6 +109,13 @@ type JobStatus struct {
 	Events int `json:"events"`
 	// Result is the final result, present iff State is done.
 	Result *session.Result `json:"result,omitempty"`
+	// Pipeline is the shared access pipeline's final network-side
+	// counters, present once a pipelined (Transport-mode) job reaches a
+	// terminal state — including failed and cancelled jobs, whose Result
+	// is absent but whose wire spend is still real. Like
+	// Result.Pipeline, these counters depend on goroutine scheduling and
+	// are outside the determinism invariant.
+	Pipeline *access.PipelineStats `json:"pipeline,omitempty"`
 }
 
 // job is the manager's internal record. All mutable fields are guarded
@@ -123,6 +132,13 @@ type job struct {
 	result *session.Result
 	events []Event
 	chains []ChainProgress
+	// pipeline is the final PipelineStats snapshot of a pipelined job,
+	// set by drive when the session winds down.
+	pipeline *access.PipelineStats
+	// submittedAt/startedAt feed the queue-wait and run-duration
+	// histograms; startedAt is zero until the job enters running.
+	submittedAt time.Time
+	startedAt   time.Time
 	// cancelRun aborts the in-flight run; non-nil exactly while
 	// running.
 	cancelRun context.CancelCauseFunc
@@ -131,7 +147,7 @@ type job struct {
 // newJob returns a queued job whose event log already carries the
 // "queued" state event, so subscribers always see the full lifecycle.
 func newJob(id string, wire session.SpecJSON, spec session.Spec) *job {
-	j := &job{id: id, wire: wire, spec: spec, state: StateQueued}
+	j := &job{id: id, wire: wire, spec: spec, state: StateQueued, submittedAt: time.Now()}
 	j.cond = sync.NewCond(&j.mu)
 	j.events = []Event{{Seq: 1, Job: id, Type: "state", State: StateQueued}}
 	return j
@@ -165,12 +181,13 @@ func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:     j.id,
-		State:  j.state,
-		Error:  j.errMsg,
-		Spec:   j.wire,
-		Events: len(j.events),
-		Result: j.result,
+		ID:       j.id,
+		State:    j.state,
+		Error:    j.errMsg,
+		Spec:     j.wire,
+		Events:   len(j.events),
+		Result:   j.result,
+		Pipeline: j.pipeline,
 	}
 	if len(j.chains) > 0 {
 		st.Chains = append([]ChainProgress(nil), j.chains...)

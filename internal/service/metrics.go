@@ -1,0 +1,54 @@
+package service
+
+// The manager's obs instrumentation: process-wide counters, live
+// per-state gauges and latency histograms on the obs.Default registry,
+// served by GET /metrics in Prometheus text format. These mirror (not
+// replace) the JSON Metrics snapshot at /v1/metrics — that endpoint
+// reports one Manager's own counters, while the registry aggregates
+// every Manager in the process, which is why the gauges are maintained
+// at the transition sites rather than derived from Metrics().
+
+import "histwalk/internal/obs"
+
+var (
+	obsJobsSubmitted = obs.Default.Counter("histwalk_jobs_submitted_total",
+		"Jobs admitted by Submit.")
+	obsJobsDone = obs.Default.Counter("histwalk_jobs_done_total",
+		"Jobs that completed successfully.")
+	obsJobsFailed = obs.Default.Counter("histwalk_jobs_failed_total",
+		"Jobs whose run errored.")
+	obsJobsCancelled = obs.Default.Counter("histwalk_jobs_cancelled_total",
+		"Jobs cancelled (explicit cancel, drain or shutdown).")
+	obsJobsEvicted = obs.Default.Counter("histwalk_jobs_evicted_total",
+		"Terminal jobs dropped by store eviction.")
+	obsJobEvents = obs.Default.Counter("histwalk_job_events_total",
+		"Progress and state events emitted across all jobs.")
+	obsJobsQueued = obs.Default.Gauge("histwalk_jobs_queued",
+		"Jobs currently waiting for a worker.")
+	obsJobsRunning = obs.Default.Gauge("histwalk_jobs_running",
+		"Jobs currently being driven.")
+	obsJobQueueWait = obs.Default.Histogram("histwalk_job_queue_wait_seconds",
+		"Time from admission to pickup by a worker.")
+	obsJobRun = obs.Default.Histogram("histwalk_job_run_seconds",
+		"Time from pickup to the terminal transition.")
+)
+
+// noteEvent counts one emitted event on both ledgers (the manager's
+// JSON snapshot and the process-wide registry).
+func (m *Manager) noteEvent() {
+	m.events.Add(1)
+	obsJobEvents.Inc()
+}
+
+// traceJob emits one job-lifecycle span when tracing is enabled.
+func traceJob(ev, id string, fields obs.F) {
+	tr := obs.ActiveTracer()
+	if tr == nil {
+		return
+	}
+	if fields == nil {
+		fields = obs.F{}
+	}
+	fields["job"] = id
+	tr.Emit(ev, fields)
+}

@@ -39,8 +39,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"histwalk/internal/engine"
+	"histwalk/internal/obs"
 	"histwalk/internal/session"
 )
 
@@ -220,9 +222,12 @@ func (m *Manager) Submit(wire session.SpecJSON) (JobStatus, error) {
 	m.jobs[j.id] = j
 	m.order = append(m.order, j)
 	m.counts.submitted++
-	m.events.Add(1) // the seeded "queued" event
+	m.noteEvent() // the seeded "queued" event
+	obsJobsSubmitted.Inc()
+	obsJobsQueued.Add(1)
 	m.evictLocked()
 	m.mu.Unlock()
+	traceJob("job.queued", j.id, nil)
 	return j.status(), nil
 }
 
@@ -237,6 +242,7 @@ func (m *Manager) evictLocked() {
 				delete(m.jobs, j.id)
 				m.order = append(m.order[:i], m.order[i+1:]...)
 				m.counts.evicted++
+				obsJobsEvicted.Inc()
 				evicted = true
 				break
 			}
@@ -308,8 +314,10 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	case j.state == StateQueued:
 		j.setStateLocked(StateCancelled, "cancelled while queued")
 		j.mu.Unlock()
-		m.events.Add(1)
+		m.noteEvent()
+		obsJobsQueued.Add(-1)
 		m.count(StateCancelled)
+		traceJob("job.cancelled", j.id, obs.F{"reason": "cancelled while queued"})
 	default: // running
 		cancel := j.cancelRun
 		j.mu.Unlock()
@@ -350,10 +358,13 @@ func (m *Manager) count(s State) {
 	switch s {
 	case StateDone:
 		m.counts.done++
+		obsJobsDone.Inc()
 	case StateFailed:
 		m.counts.failed++
+		obsJobsFailed.Inc()
 	case StateCancelled:
 		m.counts.cancelled++
+		obsJobsCancelled.Inc()
 	}
 	m.mu.Unlock()
 }
@@ -389,14 +400,23 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 }
 
 // finish applies a job's terminal transition and updates the counters.
+// It is only reached from runJob, after the job entered running.
 func (m *Manager) finish(j *job, s State, errMsg string, res *session.Result) {
 	j.mu.Lock()
 	j.result = res
 	j.setStateLocked(s, errMsg)
 	j.cancelRun = nil
+	started := j.startedAt
 	j.mu.Unlock()
-	m.events.Add(1)
+	m.noteEvent()
 	m.count(s)
+	obsJobsRunning.Add(-1)
+	obsJobRun.Since(started)
+	f := obs.F{}
+	if errMsg != "" {
+		f["err"] = errMsg
+	}
+	traceJob("job."+string(s), j.id, f)
 }
 
 // runJob executes one popped queue entry on the calling worker.
@@ -411,8 +431,10 @@ func (m *Manager) runJob(j *job) {
 		}
 		j.setStateLocked(StateCancelled, "cancelled: manager drained before start")
 		j.mu.Unlock()
-		m.events.Add(1)
+		m.noteEvent()
+		obsJobsQueued.Add(-1)
 		m.count(StateCancelled)
+		traceJob("job.cancelled", j.id, obs.F{"reason": "manager drained before start"})
 		return
 	}
 	j.mu.Lock()
@@ -422,9 +444,15 @@ func (m *Manager) runJob(j *job) {
 	}
 	ctx, cancel := context.WithCancelCause(m.poolCtx)
 	j.cancelRun = cancel
+	j.startedAt = time.Now()
 	j.setStateLocked(StateRunning, "")
+	queueWait := j.startedAt.Sub(j.submittedAt)
 	j.mu.Unlock()
-	m.events.Add(1)
+	m.noteEvent()
+	obsJobsQueued.Add(-1)
+	obsJobsRunning.Add(1)
+	obsJobQueueWait.Observe(queueWait)
+	traceJob("job.running", j.id, nil)
 	defer cancel(nil)
 
 	m.mu.Lock()
@@ -468,6 +496,16 @@ func (m *Manager) drive(ctx context.Context, j *job) (*session.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Surface the pipeline's final network counters on the job status
+	// whatever the outcome — a cancelled or failed pipelined crawl still
+	// reports what it paid on the wire.
+	defer func() {
+		if ps := sess.PipelineStats(); ps != nil {
+			j.mu.Lock()
+			j.pipeline = ps
+			j.mu.Unlock()
+		}
+	}()
 	chains := j.spec.Chains
 	if chains == 0 {
 		chains = 1
@@ -546,5 +584,11 @@ func (m *Manager) emitProgress(j *job, cp ChainProgress, ests []RunningEstimate)
 	c := cp
 	j.appendLocked(Event{Type: "progress", Chain: &c, Estimates: ests})
 	j.mu.Unlock()
-	m.events.Add(1)
+	m.noteEvent()
+	if tr := obs.ActiveTracer(); tr != nil {
+		tr.Emit("chain.milestone", obs.F{
+			"job": j.id, "chain": cp.Chain, "steps": cp.Steps,
+			"spent": cp.Spent, "samples": cp.Samples, "done": cp.Done,
+		})
+	}
 }

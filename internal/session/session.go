@@ -44,6 +44,7 @@ import (
 	"histwalk/internal/estimate"
 	"histwalk/internal/graph"
 	"histwalk/internal/graphstore"
+	"histwalk/internal/obs"
 )
 
 // DesignChoice selects the estimator's stationary-distribution
@@ -814,6 +815,18 @@ func (s *Session) nextBatched() (Update, bool, error) {
 	}
 }
 
+// PipelineStats snapshots the shared access pipeline's network-side
+// counters mid-run or after completion; nil for non-pipelined specs.
+// Like Result.Pipeline, the counters depend on goroutine scheduling
+// and sit outside the determinism invariant.
+func (s *Session) PipelineStats() *access.PipelineStats {
+	if s.sp.pipe == nil {
+		return nil
+	}
+	st := s.sp.pipe.Stats()
+	return &st
+}
+
 // Close releases the pipelined access layer's background resources
 // (canceling outstanding speculative fetches); it is a no-op for
 // non-pipelined specs. Result and PartialResult stay callable after
@@ -990,6 +1003,12 @@ func newChain(sp *Spec, c int) (*chainRun, error) {
 		return nil, fmt.Errorf("session: chain %d: %s construction degraded to %s; refusing to run under a wrong label",
 			c, sp.Walker.Name, d.Unwrap().Name())
 	}
+	obsChainsStarted.Inc()
+	if tr := obs.ActiveTracer(); tr != nil {
+		tr.Emit("chain.start", obs.F{
+			"chain": c, "seed": seed, "start": int64(cr.start), "walker": sp.Walker.Name,
+		})
+	}
 	return cr, nil
 }
 
@@ -1012,7 +1031,7 @@ func (cr *chainRun) gate(sp *Spec) bool {
 		return false
 	}
 	if cr.spend(sp) >= sp.Budget || cr.steps >= sp.MaxSteps {
-		cr.done = true
+		cr.markDone(sp)
 		return false
 	}
 	return true
@@ -1038,19 +1057,19 @@ func (cr *chainRun) advance(sp *Spec) (u Update, stepped bool, err error) {
 func (cr *chainRun) finish(sp *Spec, v graph.Node, err error) (Update, bool, error) {
 	if err != nil {
 		if errors.Is(err, access.ErrBudgetExhausted) {
-			cr.done = true
+			cr.markDone(sp)
 			return Update{}, false, nil
 		}
-		cr.done = true
+		cr.markDone(sp)
 		return Update{}, false, fmt.Errorf("session: chain %d (%s) step %d: %w", cr.idx, sp.Walker.Name, cr.steps, err)
 	}
 	deg, vals, err := cr.measure(sp, v)
 	if err != nil {
 		if errors.Is(err, access.ErrBudgetExhausted) {
-			cr.done = true
+			cr.markDone(sp)
 			return Update{}, false, nil
 		}
-		cr.done = true
+		cr.markDone(sp)
 		return Update{}, false, fmt.Errorf("session: chain %d: %w", cr.idx, err)
 	}
 	s := cr.steps
@@ -1067,7 +1086,7 @@ func (cr *chainRun) finish(sp *Spec, v graph.Node, err error) (Update, bool, err
 	// count is known in Graph/Store mode and for transports that report
 	// one (access.NodeCounter).
 	if cr.sim != nil && sp.nodes > 0 && sp.Cost == engine.CostUnique && cr.sim.QueryCost() >= sp.nodes {
-		cr.done = true
+		cr.markDone(sp)
 	}
 	// Without a node count (Client mode, or a live transport of unknown
 	// size) there is no saturation to detect, so when MaxSteps was
@@ -1078,7 +1097,7 @@ func (cr *chainRun) finish(sp *Spec, v graph.Node, err error) (Update, bool, err
 	// budget exceeds the reachable component).
 	if sp.nodes == 0 && sp.autoMaxSteps && sp.Cost == engine.CostUnique &&
 		cr.steps >= 200*(cr.spend(sp)+1) {
-		cr.done = true
+		cr.markDone(sp)
 	}
 	// Hand the walker's candidate frontier to the pipelined access
 	// layer as a prefetch hint. This happens after all accounting for

@@ -1,0 +1,55 @@
+package histwalk
+
+// Re-exports of the observability substrate (internal/obs): the
+// process-wide metrics registry (atomic counters, gauges, log₂ latency
+// histograms with zero-allocation record paths, Prometheus text
+// exposition) and the JSONL lifecycle tracer. The service handler
+// serves MetricsDefault at GET /metrics; embedders can register their
+// own metrics on it or build private registries for tests.
+
+import (
+	"io"
+
+	"histwalk/internal/obs"
+)
+
+// Observability types.
+type (
+	// MetricsRegistry holds named metrics and renders them in the
+	// Prometheus text exposition format (no external dependencies).
+	MetricsRegistry = obs.Registry
+	// MetricCounter is a monotone counter with an atomic, 0-alloc
+	// record path.
+	MetricCounter = obs.Counter
+	// MetricGauge is an up/down value with an atomic, 0-alloc record
+	// path.
+	MetricGauge = obs.Gauge
+	// MetricHistogram is a fixed-bucket log₂ latency histogram with an
+	// atomic, 0-alloc record path.
+	MetricHistogram = obs.Histogram
+	// Tracer appends JSONL lifecycle spans (job/chain/fetch events) to
+	// a writer.
+	Tracer = obs.Tracer
+	// TraceFields is one trace span's field map.
+	TraceFields = obs.F
+)
+
+// MetricsDefault is the process-wide registry every subsystem
+// instruments; histwalkd's GET /metrics serves it.
+var MetricsDefault = obs.Default
+
+// NewMetricsRegistry returns an empty private registry (tests,
+// embedders).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer returns a tracer writing JSONL spans to w; if w is an
+// io.Closer, the tracer's Close closes it.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// SetTracer installs (or, with nil, removes) the process-wide tracer
+// that instrumented call sites emit through.
+func SetTracer(t *Tracer) { obs.SetTracer(t) }
+
+// ActiveTracer returns the process-wide tracer, or nil when tracing is
+// off.
+func ActiveTracer() *Tracer { return obs.ActiveTracer() }

@@ -36,6 +36,9 @@ type (
 	RunningEstimate = service.RunningEstimate
 	// ServiceMetrics is the service counter snapshot.
 	ServiceMetrics = service.Metrics
+	// Health is the /healthz payload: liveness plus build identity
+	// (Go version, VCS revision when stamped).
+	Health = service.Health
 	// SpecJSON is the serializable (wire) description of a sampling
 	// run: datasets, walkers, estimators and policies chosen by name.
 	SpecJSON = session.SpecJSON
