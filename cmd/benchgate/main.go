@@ -37,6 +37,17 @@
 //
 //	go test -run xxx -bench 'WalkStep|BatchedChains' -benchmem -benchtime 1000000x . | go run ./cmd/benchgate -baseline BENCH_core.json
 //	go test -run xxx -bench PipelinedCrawl -benchtime 1x . | go run ./cmd/benchgate -baseline BENCH_access.json -prefix BenchmarkPipelinedCrawl/
+//
+// With -loadgen it gates a cmd/loadgen report instead of bench output:
+// any lost or failed job fails unconditionally (durability and
+// correctness are host-independent), and the p99 submit-to-terminal
+// latency is gated against the baseline's loadgen.p99_ms — but only
+// when the baseline is not marked "provisional": true, the repo's
+// convention for numbers recorded on an unrepresentative host, where
+// wall-clock comparisons would gate noise.
+//
+//	go run ./cmd/loadgen -jobs 2000 -out loadgen.json
+//	go run ./cmd/benchgate -baseline BENCH_service.json -loadgen loadgen.json
 package main
 
 import (
@@ -75,6 +86,90 @@ type baselineFile struct {
 		Fast       string  `json:"fast"`
 		MinSpeedup float64 `json:"min_speedup"`
 	} `json:"speedup_gate"`
+	// Provisional marks baselines recorded on an unrepresentative host;
+	// wall-clock gates (the loadgen p99) are reported but not enforced.
+	Provisional bool `json:"provisional"`
+	// Loadgen is the cmd/loadgen latency baseline for -loadgen mode.
+	Loadgen *struct {
+		P99MS float64 `json:"p99_ms"`
+		// MaxP99Ratio is the allowed measured/baseline headroom
+		// (0 = 1.5): latency gates need slack that allocation gates
+		// don't.
+		MaxP99Ratio float64 `json:"max_p99_ratio"`
+	} `json:"loadgen"`
+}
+
+// loadgenReport mirrors cmd/loadgen's Output.
+type loadgenReport struct {
+	Mode       string  `json:"mode"`
+	Jobs       int     `json:"jobs"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	Latency    struct {
+		P50 float64 `json:"p50"`
+		P99 float64 `json:"p99"`
+	} `json:"latency_ms"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Rejected int `json:"rejected"`
+	Lost     int `json:"lost"`
+}
+
+// runLoadgen gates a loadgen report: loss and failure are absolute
+// contracts; the p99 latency is gated against the baseline only when
+// the baseline is non-provisional.
+func runLoadgen(out io.Writer, baselinePath, reportPath string) (failures int, err error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return 0, fmt.Errorf("benchgate: reading baseline: %w", err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return 0, fmt.Errorf("benchgate: parsing baseline %s: %w", baselinePath, err)
+	}
+	raw, err = os.ReadFile(reportPath)
+	if err != nil {
+		return 0, fmt.Errorf("benchgate: reading loadgen report: %w", err)
+	}
+	var rep loadgenReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return 0, fmt.Errorf("benchgate: parsing loadgen report %s: %w", reportPath, err)
+	}
+	fmt.Fprintf(out, "loadgen (%s): %d jobs, %.1f done jobs/sec, p50 %.1fms p99 %.1fms, rejected %d\n",
+		rep.Mode, rep.Jobs, rep.JobsPerSec, rep.Latency.P50, rep.Latency.P99, rep.Rejected)
+	if rep.Lost > 0 {
+		failures++
+		fmt.Fprintf(out, "LOADGEN GATE FAILED: %d job(s) lost — acknowledged submissions vanished\n", rep.Lost)
+	}
+	if rep.Failed > 0 {
+		failures++
+		fmt.Fprintf(out, "LOADGEN GATE FAILED: %d job(s) failed\n", rep.Failed)
+	}
+	if rep.Done == 0 {
+		failures++
+		fmt.Fprintln(out, "LOADGEN GATE FAILED: no jobs completed")
+	}
+	if base.Loadgen == nil || base.Loadgen.P99MS <= 0 {
+		fmt.Fprintln(out, "loadgen p99: no baseline recorded, not gated")
+		return failures, nil
+	}
+	ratio := rep.Latency.P99 / base.Loadgen.P99MS
+	maxRatio := base.Loadgen.MaxP99Ratio
+	if maxRatio <= 0 {
+		maxRatio = 1.5
+	}
+	switch {
+	case base.Provisional:
+		fmt.Fprintf(out, "loadgen p99: %.1fms vs provisional baseline %.1fms (%.2fx, not gated)\n",
+			rep.Latency.P99, base.Loadgen.P99MS, ratio)
+	case ratio > maxRatio:
+		failures++
+		fmt.Fprintf(out, "LOADGEN GATE FAILED: p99 %.1fms > baseline %.1fms * %.2f\n",
+			rep.Latency.P99, base.Loadgen.P99MS, maxRatio)
+	default:
+		fmt.Fprintf(out, "loadgen p99: %.1fms <= baseline %.1fms * %.2f ok\n",
+			rep.Latency.P99, base.Loadgen.P99MS, maxRatio)
+	}
+	return failures, nil
 }
 
 // result is one parsed benchmark line.
@@ -277,8 +372,17 @@ func reportBatched(out io.Writer, base *baselineFile, results []result) {
 func main() {
 	baseline := flag.String("baseline", "BENCH_core.json", "baseline JSON with the allocation gate and reference numbers")
 	prefix := flag.String("prefix", "BenchmarkWalkStep/", "benchmark name prefix to gate")
+	loadgen := flag.String("loadgen", "", "gate a cmd/loadgen JSON report instead of bench output on stdin")
 	flag.Parse()
-	failures, err := run(os.Stdin, os.Stdout, *baseline, *prefix)
+	var (
+		failures int
+		err      error
+	)
+	if *loadgen != "" {
+		failures, err = runLoadgen(os.Stdout, *baseline, *loadgen)
+	} else {
+		failures, err = run(os.Stdin, os.Stdout, *baseline, *prefix)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

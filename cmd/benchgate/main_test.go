@@ -267,3 +267,79 @@ func TestSpeedupGateFailsWhenPairMissing(t *testing.T) {
 		t.Fatalf("missing-pair failure not reported:\n%s", out.String())
 	}
 }
+
+// writeFiles drops a baseline and a loadgen report into a temp dir and
+// returns their paths.
+func writeLoadgenPair(t *testing.T, baseline, report string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	bp := filepath.Join(dir, "baseline.json")
+	rp := filepath.Join(dir, "report.json")
+	if err := os.WriteFile(bp, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(rp, []byte(report), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return bp, rp
+}
+
+func TestLoadgenGateFailsOnLoss(t *testing.T) {
+	bp, rp := writeLoadgenPair(t,
+		`{"provisional": true, "loadgen": {"p99_ms": 100}}`,
+		`{"mode":"kill","jobs":100,"done":97,"failed":1,"lost":2,"latency_ms":{"p50":10,"p99":50}}`)
+	var out strings.Builder
+	failures, err := runLoadgen(&out, bp, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 2 {
+		t.Fatalf("failures = %d, want 2 (loss + failure)\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "2 job(s) lost") || !strings.Contains(out.String(), "1 job(s) failed") {
+		t.Fatalf("loss/failure not reported:\n%s", out.String())
+	}
+}
+
+func TestLoadgenP99GateSkippedWhileProvisional(t *testing.T) {
+	bp, rp := writeLoadgenPair(t,
+		`{"provisional": true, "loadgen": {"p99_ms": 100}}`,
+		`{"mode":"inproc","jobs":100,"done":100,"latency_ms":{"p50":10,"p99":900}}`)
+	var out strings.Builder
+	failures, err := runLoadgen(&out, bp, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d, want 0 (provisional baseline must not gate wall clock)\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "not gated") {
+		t.Fatalf("provisional skip not reported:\n%s", out.String())
+	}
+}
+
+func TestLoadgenP99GateEnforcedWhenNotProvisional(t *testing.T) {
+	bp, rp := writeLoadgenPair(t,
+		`{"loadgen": {"p99_ms": 100, "max_p99_ratio": 1.5}}`,
+		`{"mode":"inproc","jobs":100,"done":100,"latency_ms":{"p50":10,"p99":200}}`)
+	var out strings.Builder
+	failures, err := runLoadgen(&out, bp, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 || !strings.Contains(out.String(), "LOADGEN GATE FAILED: p99") {
+		t.Fatalf("failures = %d, want p99 gate failure\n%s", failures, out.String())
+	}
+
+	bp2, rp2 := writeLoadgenPair(t,
+		`{"loadgen": {"p99_ms": 100, "max_p99_ratio": 1.5}}`,
+		`{"mode":"inproc","jobs":100,"done":100,"latency_ms":{"p50":10,"p99":120}}`)
+	out.Reset()
+	failures, err = runLoadgen(&out, bp2, rp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 || !strings.Contains(out.String(), "ok") {
+		t.Fatalf("failures = %d, want pass within headroom\n%s", failures, out.String())
+	}
+}

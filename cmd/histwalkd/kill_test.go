@@ -1,0 +1,222 @@
+package main
+
+// Kill-and-restart end-to-end test, run by CI under -race: a real
+// histwalkd child process (this test binary re-executing itself) is
+// SIGKILLed mid-job, restarted on the same -store-dir, and must resume
+// the job from its last durable checkpoint to a Result byte-identical
+// to an uninterrupted direct Run. SIGKILL gives the process no chance
+// to flush or unwind, so this exercises the store's real crash
+// surface: torn final log lines, unreplayed checkpoints, a job frozen
+// in the running state.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"histwalk"
+)
+
+const childEnv = "HISTWALKD_E2E_CHILD"
+
+// TestMain turns the test binary into histwalkd itself when re-executed
+// with the child marker, so the kill test drives a genuine separate
+// process without needing a prebuilt binary on disk.
+func TestMain(m *testing.M) {
+	if os.Getenv(childEnv) == "1" {
+		ctx, stop := context.WithCancel(context.Background())
+		go func() {
+			// The parent stops the final child with SIGTERM; earlier
+			// incarnations die by SIGKILL, which nothing can catch.
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+			<-ch
+			stop()
+		}()
+		if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "histwalkd child:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// startChild launches this test binary as a histwalkd process over
+// store dir and waits for its listening line.
+func startChild(t *testing.T, dir string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-addr", "127.0.0.1:0", "-max-concurrent", "1", "-store-dir", dir)
+	cmd.Env = append(os.Environ(), childEnv+"=1")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lines := bufio.NewReader(out)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("child never started listening")
+		}
+		line, err := lines.ReadString('\n')
+		if err != nil {
+			cmd.Process.Kill()
+			t.Fatalf("child exited before listening: %v", err)
+		}
+		if base, ok := strings.CutPrefix(strings.TrimSpace(line), "histwalkd listening on "); ok {
+			go func() {
+				for {
+					if _, err := lines.ReadString('\n'); err != nil {
+						return
+					}
+				}
+			}()
+			return base, cmd
+		}
+	}
+}
+
+func getStatus(t *testing.T, base, id string) histwalk.JobStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st histwalk.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestDaemonKillRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	base, child := startChild(t, dir)
+
+	// A step-metered job long enough to be mid-flight when the kill
+	// lands, with checkpoints accumulating on disk as it runs.
+	spec := histwalk.SpecJSON{
+		Dataset: "clustered",
+		Walker:  "cnrw",
+		Budget:  20000,
+		Chains:  4,
+		Seed:    4242,
+		Cost:    "steps",
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st histwalk.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, st)
+	}
+
+	// Wait until the job is visibly mid-run with checkpoints behind it.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		cur := getStatus(t, base, st.ID)
+		var spent int
+		for _, c := range cur.Chains {
+			if c.Spent > spent {
+				spent = c.Spent
+			}
+		}
+		if spent >= 3000 {
+			break
+		}
+		if cur.State != histwalk.JobQueued && cur.State != histwalk.JobRunning {
+			t.Fatalf("job finished too early to kill: %s", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached mid-run")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// kill -9: no flush, no drain, no goodbye.
+	if err := child.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	child.Wait()
+
+	// Restart on the same store dir; the job must resume and finish.
+	base2, child2 := startChild(t, dir)
+	deadline = time.Now().Add(120 * time.Second)
+	var fin histwalk.JobStatus
+	for {
+		fin = getStatus(t, base2, st.ID)
+		if fin.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job stuck in %s", fin.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if fin.State != histwalk.JobDone || fin.Result == nil {
+		t.Fatalf("resumed job ended %s (%s)", fin.State, fin.Error)
+	}
+
+	// The acceptance bar: byte-identical (as JSON) to an uninterrupted
+	// direct Run of the same resolved spec.
+	resolved, err := spec.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := histwalk.Run(context.Background(), resolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(fin.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("resumed result differs from uninterrupted direct Run:\n%s\nvs\n%s", gotJSON, wantJSON)
+	}
+
+	// The second daemon dies cleanly on SIGTERM, preserving the store.
+	if err := child2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- child2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful child exit: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		child2.Process.Kill()
+		t.Fatal("second child did not exit on SIGTERM")
+	}
+}

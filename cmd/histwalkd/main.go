@@ -8,7 +8,7 @@
 // Usage:
 //
 //	histwalkd [-addr 127.0.0.1:8080] [-max-concurrent N]
-//	          [-queue N] [-store N] [-drain 30s]
+//	          [-queue N] [-store N] [-store-dir DIR] [-drain 30s]
 //	          [-pprof] [-trace spans.jsonl]
 //
 // API (JSON; see internal/service for the full contract):
@@ -33,6 +33,15 @@
 //
 //	curl -s localhost:8080/v1/jobs -d \
 //	  '{"dataset":"gplus","walker":"cnrw","budget":1000,"chains":8,"seed":1}'
+//
+// With -store-dir the daemon is durable: every job's spec, event log
+// and periodic chain checkpoints are persisted to an append-only
+// CRC-framed log in that directory (compacted into snapshots as it
+// grows). On restart — clean or after a kill -9 — terminal jobs reload
+// as queryable history, queued jobs re-enter the queue in admission
+// order, and running jobs resume from their last checkpoint to the
+// bit-identical Result an uninterrupted run would have produced. SSE
+// clients reconnect with Last-Event-ID and miss nothing.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: intake closes,
 // running jobs finish (within -drain), queued jobs are cancelled, and
@@ -74,6 +83,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxConcurrent := fs.Int("max-concurrent", 0, "jobs running at once (0 = one per core)")
 	queueDepth := fs.Int("queue", 0, "admission queue depth (0 = 256)")
 	storeLimit := fs.Int("store", 0, "jobs kept in memory before terminal ones are evicted (0 = 1024)")
+	storeDir := fs.String("store-dir", "", "durable job-store directory (empty = in-memory only)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-drain budget on shutdown")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	traceFile := fs.String("trace", "", "write JSONL lifecycle trace spans to this file")
@@ -94,11 +104,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}()
 	}
 
-	mgr := histwalk.NewManager(histwalk.ManagerOptions{
+	opts := histwalk.ManagerOptions{
 		MaxConcurrent: *maxConcurrent,
 		QueueDepth:    *queueDepth,
 		StoreLimit:    *storeLimit,
-	})
+	}
+	if *storeDir != "" {
+		store, err := histwalk.OpenFileJobStore(*storeDir, histwalk.FileStoreOptions{})
+		if err != nil {
+			return err
+		}
+		opts.Store = store
+	}
+	mgr, rec, err := histwalk.OpenManager(opts)
+	if err != nil {
+		return err
+	}
+	if *storeDir != "" {
+		fmt.Fprintf(out, "histwalkd recovered %d jobs from %s (requeued %d, resumed %d, restarted %d, failed %d) in %v\n",
+			rec.Terminal+rec.Requeued+rec.Resumed+rec.Restarted+rec.Failed, *storeDir,
+			rec.Requeued, rec.Resumed, rec.Restarted, rec.Failed, rec.Elapsed)
+	}
 	handler := histwalk.NewServiceHandler(mgr)
 	if *pprofOn {
 		mux := http.NewServeMux()

@@ -1,0 +1,463 @@
+// Command loadgen is the sampling-job service's load-test harness: it
+// drives thousands of concurrent jobs through a Manager and reports
+// sustained throughput and submit-to-terminal latency percentiles as
+// JSON (the shape cmd/benchgate gates against BENCH_service.json).
+//
+// Modes:
+//
+//	-mode inproc   an in-process Manager (default; no network, measures
+//	               the service layer itself)
+//	-mode http     an already-running daemon at -addr
+//	-mode kill     spawns a real histwalkd child (-daemon binary) over a
+//	               durable -store-dir, SIGKILLs it after half the jobs
+//	               have been submitted, restarts it on the same store
+//	               and keeps the load coming — in-flight jobs must
+//	               resume and finish, and the report includes the
+//	               restart outage
+//
+// Job specs cycle through the -mix walker list with consecutive seeds,
+// so runs are reproducible. A job is "lost" if the service acknowledged
+// its submission but no longer knows it at the end of the run — with a
+// durable store that count must be zero, and benchgate fails on any
+// loss or job failure.
+//
+// Examples:
+//
+//	go run ./cmd/loadgen -jobs 2000 -out loadgen.json
+//	go run ./cmd/loadgen -mode kill -daemon ./histwalkd -jobs 400 -budget 2000
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"histwalk"
+)
+
+// Output is the machine-readable run report.
+type Output struct {
+	Mode       string  `json:"mode"`
+	Jobs       int     `json:"jobs"`
+	Rate       float64 `json:"rate,omitempty"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// Latency is submit-to-terminal wall time; in kill mode it includes
+	// the outage for jobs that straddle the restart.
+	Latency LatencyMS `json:"latency_ms"`
+	// Done/Failed/Cancelled partition the acknowledged jobs' outcomes;
+	// Rejected counts submissions the service refused (queue full),
+	// which are load-shedding, not loss.
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	Rejected  int `json:"rejected,omitempty"`
+	// Lost counts acknowledged jobs the service no longer knew at the
+	// end — zero is the durability contract.
+	Lost int `json:"lost"`
+	// Recovery is present in kill mode: the wall time from SIGKILL to
+	// the restarted daemon accepting requests again (store recovery
+	// happens inside that window).
+	Recovery *RecoveryOut `json:"recovery,omitempty"`
+}
+
+// LatencyMS holds submit-to-terminal percentiles in milliseconds.
+type LatencyMS struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// RecoveryOut reports the kill-mode restart outage.
+type RecoveryOut struct {
+	OutageMS float64 `json:"outage_ms"`
+}
+
+// target abstracts where jobs go. await returns the job's terminal
+// state, or "lost" if the service acknowledged the job but no longer
+// knows it.
+type target interface {
+	submit(spec histwalk.SpecJSON) (string, error)
+	await(ctx context.Context, id string) (string, error)
+	close() error
+}
+
+// --- in-process target ---
+
+type inprocTarget struct{ m *histwalk.Manager }
+
+func (t *inprocTarget) submit(spec histwalk.SpecJSON) (string, error) {
+	st, err := t.m.Submit(spec)
+	return st.ID, err
+}
+
+func (t *inprocTarget) await(ctx context.Context, id string) (string, error) {
+	after := 0
+	for {
+		evs, terminal, err := t.m.WaitEvents(ctx, id, after)
+		if err != nil {
+			return "", err
+		}
+		after += len(evs)
+		if terminal {
+			st, err := t.m.Get(id)
+			if err != nil {
+				return "lost", nil
+			}
+			return string(st.State), nil
+		}
+	}
+}
+
+func (t *inprocTarget) close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	return t.m.Shutdown(ctx)
+}
+
+// --- HTTP target ---
+
+// httpTarget drives a daemon over its JSON API. base is swappable so
+// kill mode can point in-flight waiters at the restarted process.
+type httpTarget struct {
+	base   atomic.Value // string
+	client *http.Client
+}
+
+func newHTTPTarget(base string) *httpTarget {
+	t := &httpTarget{client: &http.Client{Timeout: 30 * time.Second}}
+	t.base.Store(base)
+	return t
+}
+
+var errRejected = fmt.Errorf("loadgen: submission rejected")
+
+func (t *httpTarget) submit(spec histwalk.SpecJSON) (string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	resp, err := t.client.Post(t.base.Load().(string)+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		io.Copy(io.Discard, resp.Body)
+		return "", errRejected
+	}
+	var st histwalk.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		return "", fmt.Errorf("loadgen: submit: HTTP %d", resp.StatusCode)
+	}
+	return st.ID, nil
+}
+
+// await polls the job's status. Transport errors are retried — in kill
+// mode the daemon is down between SIGKILL and restart — but a daemon
+// that answers 404 has durably forgotten the job: that is loss.
+func (t *httpTarget) await(ctx context.Context, id string) (string, error) {
+	for {
+		resp, err := t.client.Get(t.base.Load().(string) + "/v1/jobs/" + id)
+		if err == nil {
+			if resp.StatusCode == http.StatusNotFound {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				return "lost", nil
+			}
+			var st histwalk.JobStatus
+			decErr := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if decErr == nil && st.State.Terminal() {
+				return string(st.State), nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func (t *httpTarget) close() error { return nil }
+
+// --- kill-mode child management ---
+
+// child is a spawned histwalkd process.
+type child struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startChild launches the daemon binary and waits for its listening
+// line (recovery of the store happens before it prints).
+func startChild(daemon string, args []string) (*child, error) {
+	cmd := exec.Command(daemon, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	lines := bufio.NewReader(out)
+	for {
+		line, err := lines.ReadString('\n')
+		if err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, fmt.Errorf("loadgen: daemon exited before listening: %v", err)
+		}
+		if base, ok := strings.CutPrefix(strings.TrimSpace(line), "histwalkd listening on "); ok {
+			go io.Copy(io.Discard, lines)
+			return &child{cmd: cmd, base: base}, nil
+		}
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	mode := fs.String("mode", "inproc", "inproc | http | kill")
+	jobs := fs.Int("jobs", 2000, "total jobs to submit")
+	rate := fs.Float64("rate", 0, "arrival rate in jobs/sec (0 = as fast as possible)")
+	mix := fs.String("mix", "cnrw,gnrw-degree,srw,mhrw", "comma-separated walker mix, cycled over jobs")
+	dataset := fs.String("dataset", "clustered", "dataset every job samples")
+	budget := fs.Int("budget", 50, "per-chain budget of each job")
+	chains := fs.Int("chains", 4, "chains per job")
+	seed := fs.Int64("seed", 1, "base seed; job i uses seed+i")
+	workers := fs.Int("workers", 0, "Manager concurrency in inproc mode (0 = one per core)")
+	addr := fs.String("addr", "", "daemon base URL for -mode http (e.g. http://127.0.0.1:8080)")
+	daemon := fs.String("daemon", "", "histwalkd binary for -mode kill")
+	storeDir := fs.String("store-dir", "", "store directory for -mode kill (empty = temp dir)")
+	outPath := fs.String("out", "", "write the JSON report here (empty = stdout)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "overall run deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	walkers := strings.Split(*mix, ",")
+	for i := range walkers {
+		walkers[i] = strings.TrimSpace(walkers[i])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var (
+		tgt    target
+		kid    *child
+		outRep = Output{Mode: *mode, Jobs: *jobs, Rate: *rate}
+	)
+	switch *mode {
+	case "inproc":
+		m, _, err := histwalk.OpenManager(histwalk.ManagerOptions{
+			MaxConcurrent: *workers,
+			QueueDepth:    *jobs + 1,
+			StoreLimit:    *jobs + 1,
+		})
+		if err != nil {
+			return err
+		}
+		tgt = &inprocTarget{m: m}
+	case "http":
+		if *addr == "" {
+			return fmt.Errorf("-mode http needs -addr")
+		}
+		tgt = newHTTPTarget(*addr)
+	case "kill":
+		if *daemon == "" {
+			return fmt.Errorf("-mode kill needs -daemon (path to a histwalkd binary)")
+		}
+		dir := *storeDir
+		if dir == "" {
+			d, err := os.MkdirTemp("", "loadgen-store-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(d)
+			dir = d
+		}
+		childArgs := []string{"-addr", "127.0.0.1:0", "-store-dir", dir,
+			"-queue", fmt.Sprint(*jobs + 1), "-store", fmt.Sprint(*jobs + 1)}
+		var err error
+		kid, err = startChild(*daemon, childArgs)
+		if err != nil {
+			return err
+		}
+		ht := newHTTPTarget(kid.base)
+		tgt = ht
+		defer func() {
+			if kid != nil {
+				kid.cmd.Process.Signal(syscall.SIGTERM)
+				kid.cmd.Wait()
+			}
+		}()
+		// Re-spawn on the same store after the mid-run SIGKILL below.
+		killAt := *jobs / 2
+		restart := func() error {
+			kid.cmd.Process.Kill()
+			kid.cmd.Wait()
+			t0 := time.Now()
+			k2, err := startChild(*daemon, childArgs)
+			if err != nil {
+				return err
+			}
+			outRep.Recovery = &RecoveryOut{OutageMS: float64(time.Since(t0)) / float64(time.Millisecond)}
+			ht.base.Store(k2.base)
+			kid = k2
+			return nil
+		}
+		return drive(ctx, tgt, walkers, *dataset, *budget, *chains, *seed, *jobs, *rate,
+			killAt, restart, &outRep, *outPath, stdout)
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+	defer tgt.close()
+	return drive(ctx, tgt, walkers, *dataset, *budget, *chains, *seed, *jobs, *rate,
+		-1, nil, &outRep, *outPath, stdout)
+}
+
+// drive submits jobs at the configured arrival rate, waits for every
+// outcome, and writes the report. killAt >= 0 triggers the restart hook
+// after that many submissions.
+func drive(ctx context.Context, tgt target, walkers []string, dataset string,
+	budget, chains int, seed int64, jobs int, rate float64,
+	killAt int, restart func() error, rep *Output, outPath string, stdout io.Writer) error {
+
+	type outcome struct {
+		state   string
+		latency time.Duration
+	}
+	results := make(chan outcome, jobs)
+	var wg sync.WaitGroup
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(time.Second) / rate)
+	}
+	start := time.Now()
+	next := start
+	for i := 0; i < jobs; i++ {
+		if i == killAt && restart != nil {
+			if err := restart(); err != nil {
+				return err
+			}
+		}
+		spec := histwalk.SpecJSON{
+			Dataset: dataset,
+			Walker:  walkers[i%len(walkers)],
+			Budget:  budget,
+			Chains:  chains,
+			Seed:    seed + int64(i),
+		}
+		t0 := time.Now()
+		id, err := tgt.submit(spec)
+		if err != nil {
+			rep.Rejected++
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			state, err := tgt.await(ctx, id)
+			if err != nil {
+				results <- outcome{state: "lost"}
+				return
+			}
+			results <- outcome{state: state, latency: time.Since(t0)}
+		}()
+		if interval > 0 {
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	var lats []time.Duration
+	for o := range results {
+		switch o.state {
+		case "done":
+			rep.Done++
+			lats = append(lats, o.latency)
+		case "failed":
+			rep.Failed++
+		case "cancelled":
+			rep.Cancelled++
+		default:
+			rep.Lost++
+		}
+	}
+	elapsed := time.Since(start)
+	rep.ElapsedSec = elapsed.Seconds()
+	if rep.ElapsedSec > 0 {
+		rep.JobsPerSec = float64(rep.Done) / rep.ElapsedSec
+	}
+	rep.Latency = percentiles(lats)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "loadgen: %d jobs in %.2fs (%.1f done jobs/sec, p99 %.1fms) -> %s\n",
+			rep.Jobs, rep.ElapsedSec, rep.JobsPerSec, rep.Latency.P99, outPath)
+		return nil
+	}
+	_, err = stdout.Write(enc)
+	return err
+}
+
+// percentiles computes nearest-rank latency percentiles in ms.
+func percentiles(lats []time.Duration) LatencyMS {
+	if len(lats) == 0 {
+		return LatencyMS{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	at := func(p float64) float64 {
+		i := int(p*float64(len(lats))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return ms(lats[i])
+	}
+	return LatencyMS{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: ms(lats[len(lats)-1])}
+}

@@ -1,0 +1,468 @@
+package service
+
+// FileStore: the durable JobStore. Layout inside the store directory:
+//
+//	events.log      append-only JSONL of logRec lines (the live tail)
+//	snapshot.jsonl  periodic full-catalog snapshot (committed by rename)
+//
+// Every line is framed as
+//
+//	%08x SP payload \n
+//
+// where the hex field is the CRC-32C (Castagnoli, as in
+// internal/graphstore) of the payload bytes. Appends go straight
+// through os.File.Write — no userspace buffer — so a record is in the
+// kernel page cache the moment RecordEvent returns and survives a
+// kill -9 of the process (machine-crash durability would need fsync
+// per record; a job service trades that for write latency, the same
+// call graphstore makes).
+//
+// Recovery follows the graphstore commit disciplines: the snapshot is
+// written to a temp file with a trailing "end" marker (written last,
+// checked first) and renamed into place, so a torn compaction leaves
+// the previous snapshot intact; the log is replayed up to its first
+// corrupt or partial line and truncated there, so a torn final append
+// costs exactly that append. Replay is idempotent — compaction
+// truncates the log only after the snapshot rename, and a crash
+// between the two replays log records the snapshot already holds.
+//
+// Compaction survival is decided by evictVictims (store.go), the same
+// policy Manager eviction applies to the live catalog.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"time"
+
+	"histwalk/internal/session"
+)
+
+const (
+	logName      = "events.log"
+	snapshotName = "snapshot.jsonl"
+)
+
+var storeCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// logRec is one line of the event log or snapshot.
+type logRec struct {
+	// Kind discriminates the record: "submit" (job admission: ID, Seq,
+	// Spec), "event" (one appended Event), "cp" (checkpoint
+	// replacement), "evict" (catalog removal), "job" (snapshot-only:
+	// one full JobRecord), "end" (snapshot-only commit marker with the
+	// record count).
+	Kind       string              `json:"k"`
+	ID         string              `json:"id,omitempty"`
+	Seq        int                 `json:"seq,omitempty"`
+	Spec       *session.SpecJSON   `json:"spec,omitempty"`
+	Event      *Event              `json:"ev,omitempty"`
+	Checkpoint *session.Checkpoint `json:"cp,omitempty"`
+	Job        *JobRecord          `json:"job,omitempty"`
+	Count      int                 `json:"n,omitempty"`
+}
+
+// encodeRec frames one payload as a CRC-checked log line.
+func encodeRec(buf []byte, payload []byte) []byte {
+	buf = fmt.Appendf(buf, "%08x ", crc32.Checksum(payload, storeCRC))
+	buf = append(buf, payload...)
+	return append(buf, '\n')
+}
+
+// decodeLine verifies and strips one complete line's framing (without
+// the trailing newline), returning the payload.
+func decodeLine(line []byte) ([]byte, error) {
+	if len(line) < 9 || line[8] != ' ' {
+		return nil, fmt.Errorf("service: malformed log line framing")
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return nil, fmt.Errorf("service: malformed log line CRC: %w", err)
+	}
+	payload := line[9:]
+	if got := crc32.Checksum(payload, storeCRC); got != want {
+		return nil, fmt.Errorf("service: log line CRC mismatch: %08x != %08x", got, want)
+	}
+	return payload, nil
+}
+
+// decodeLog parses the longest valid prefix of data: complete,
+// CRC-clean, JSON-decodable lines. It returns the decoded records and
+// the byte length of that prefix — everything past it (a torn final
+// append, bit rot) is the corrupt tail the caller truncates away.
+func decodeLog(data []byte) (recs []logRec, valid int) {
+	for valid < len(data) {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			return recs, valid // partial final line
+		}
+		payload, err := decodeLine(data[valid : valid+nl])
+		if err != nil {
+			return recs, valid
+		}
+		var rec logRec
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, valid
+		}
+		recs = append(recs, rec)
+		valid += nl + 1
+	}
+	return recs, valid
+}
+
+// FileStoreOptions configures a FileStore. The zero value selects the
+// documented defaults.
+type FileStoreOptions struct {
+	// CompactBytes triggers snapshot-and-truncate compaction when the
+	// live log exceeds it (0 = 4 MiB).
+	CompactBytes int64
+}
+
+func (o FileStoreOptions) withDefaults() FileStoreOptions {
+	if o.CompactBytes <= 0 {
+		o.CompactBytes = 4 << 20
+	}
+	return o
+}
+
+// FileStore is the durable JobStore: a MemStore catalog for the live
+// process plus an append-only log and snapshot on disk. The mirror —
+// the JobRecord view of the catalog — is maintained from the appends
+// themselves, so compaction never reads live job state and takes no
+// job mutexes.
+type FileStore struct {
+	mem  *MemStore
+	dir  string
+	opts FileStoreOptions
+
+	mu       sync.Mutex
+	log      *os.File
+	logBytes int64
+	recs     map[string]*JobRecord
+	limit    int // last Evict limit; re-applied at compaction (0 = none yet)
+	closed   bool
+}
+
+// OpenFileStore opens (or creates) the store directory, loads the
+// snapshot, replays the log's valid prefix and truncates any corrupt
+// tail. The returned store's Recover holds every job the process knew
+// before it died.
+func OpenFileStore(dir string, opts FileStoreOptions) (*FileStore, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating store dir: %w", err)
+	}
+	fs := &FileStore{
+		mem:  NewMemStore(),
+		dir:  dir,
+		opts: opts,
+		recs: make(map[string]*JobRecord),
+	}
+	// Snapshot first: it is the compacted prefix of the log's history.
+	if data, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
+		recs, _ := decodeLog(data)
+		fs.apply(recs)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("service: reading snapshot: %w", err)
+	}
+	logPath := filepath.Join(dir, logName)
+	data, err := os.ReadFile(logPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("service: reading log: %w", err)
+	}
+	recs, valid := decodeLog(data)
+	fs.apply(recs)
+	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening log: %w", err)
+	}
+	if int64(valid) < int64(len(data)) {
+		obsStoreTruncations.Inc()
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("service: truncating corrupt log tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("service: seeking log: %w", err)
+	}
+	fs.log = f
+	fs.logBytes = int64(valid)
+	return fs, nil
+}
+
+// apply folds decoded records into the mirror, idempotently: replayed
+// duplicates (snapshot overlap after a crash mid-compaction) are
+// skipped by sequence number, evictions of unknown jobs are ignored.
+func (fs *FileStore) apply(recs []logRec) {
+	for _, r := range recs {
+		switch r.Kind {
+		case "job":
+			if r.Job != nil && r.Job.ID != "" {
+				rec := *r.Job
+				rec.Events = append([]Event(nil), r.Job.Events...)
+				fs.recs[rec.ID] = &rec
+			}
+		case "submit":
+			if r.ID == "" {
+				continue
+			}
+			if _, ok := fs.recs[r.ID]; ok {
+				continue
+			}
+			rec := &JobRecord{ID: r.ID, Seq: r.Seq}
+			if r.Spec != nil {
+				rec.Spec = *r.Spec
+			}
+			fs.recs[r.ID] = rec
+		case "event":
+			rec := fs.recs[r.ID]
+			if rec == nil || r.Event == nil {
+				continue
+			}
+			if r.Event.Seq == len(rec.Events)+1 {
+				rec.Events = append(rec.Events, *r.Event)
+			}
+		case "cp":
+			if rec := fs.recs[r.ID]; rec != nil {
+				rec.Checkpoint = r.Checkpoint
+			}
+		case "evict":
+			delete(fs.recs, r.ID)
+		case "end":
+			// Snapshot commit marker; nothing to fold.
+		}
+	}
+}
+
+// appendLocked frames and writes records to the log in one write call.
+func (fs *FileStore) appendLocked(recs ...logRec) error {
+	var buf []byte
+	for _, r := range recs {
+		payload, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("service: encoding log record: %w", err)
+		}
+		buf = encodeRec(buf, payload)
+	}
+	n, err := fs.log.Write(buf)
+	fs.logBytes += int64(n)
+	if err != nil {
+		obsStoreErrors.Inc()
+		return fmt.Errorf("service: appending to job log: %w", err)
+	}
+	return nil
+}
+
+// Add admits a fresh job: catalog insert plus a durable submit record
+// and the job's already-seeded events.
+func (fs *FileStore) Add(j *job) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.recs[j.id]; ok {
+		fs.mem.Adopt(j)
+		return nil
+	}
+	rec := &JobRecord{ID: j.id, Seq: j.seq, Spec: j.wire, Events: append([]Event(nil), j.events...)}
+	recs := []logRec{{Kind: "submit", ID: j.id, Seq: j.seq, Spec: &j.wire}}
+	for i := range rec.Events {
+		recs = append(recs, logRec{Kind: "event", ID: j.id, Event: &rec.Events[i]})
+	}
+	if err := fs.appendLocked(recs...); err != nil {
+		return err
+	}
+	fs.recs[j.id] = rec
+	fs.mem.Adopt(j)
+	fs.maybeCompactLocked()
+	return nil
+}
+
+// Adopt inserts a rehydrated job into the live catalog only — its
+// records are already in the mirror from recovery replay.
+func (fs *FileStore) Adopt(j *job) { fs.mem.Adopt(j) }
+
+// Get looks a job up in the live catalog.
+func (fs *FileStore) Get(id string) (*job, bool) { return fs.mem.Get(id) }
+
+// All returns the live catalog in admission order.
+func (fs *FileStore) All() []*job { return fs.mem.All() }
+
+// Len returns the live catalog size.
+func (fs *FileStore) Len() int { return fs.mem.Len() }
+
+// Evict applies the shared eviction policy to the live catalog and
+// makes the removals durable.
+func (fs *FileStore) Evict(limit int) []string {
+	victims := fs.mem.Evict(limit)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.limit = limit
+	if len(victims) == 0 {
+		return nil
+	}
+	recs := make([]logRec, len(victims))
+	for i, id := range victims {
+		recs[i] = logRec{Kind: "evict", ID: id}
+		delete(fs.recs, id)
+	}
+	_ = fs.appendLocked(recs...) // catalog already updated; log error is counted
+	fs.maybeCompactLocked()
+	return victims
+}
+
+// RecordEvent appends one job event to the log and the mirror.
+func (fs *FileStore) RecordEvent(id string, ev Event) error {
+	t0 := time.Now()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	rec := fs.recs[id]
+	if rec == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	if err := fs.appendLocked(logRec{Kind: "event", ID: id, Event: &ev}); err != nil {
+		return err
+	}
+	if ev.Seq == len(rec.Events)+1 {
+		rec.Events = append(rec.Events, ev)
+	}
+	fs.maybeCompactLocked()
+	obsStoreAppend.Since(t0)
+	return nil
+}
+
+// RecordCheckpoint persists a job's latest checkpoint; the log carries
+// every write, the mirror (and thus the next snapshot) only the last.
+func (fs *FileStore) RecordCheckpoint(id string, cp *session.Checkpoint) error {
+	t0 := time.Now()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	rec := fs.recs[id]
+	if rec == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	if err := fs.appendLocked(logRec{Kind: "cp", ID: id, Checkpoint: cp}); err != nil {
+		return err
+	}
+	rec.Checkpoint = cp
+	fs.maybeCompactLocked()
+	obsCheckpointWrites.Inc()
+	obsCheckpointWrite.Since(t0)
+	return nil
+}
+
+// Recover returns the durable records in admission order. Event slices
+// are copied: the caller rehydrates jobs from them while RecordEvent
+// keeps appending to the mirror.
+func (fs *FileStore) Recover() ([]JobRecord, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]JobRecord, 0, len(fs.recs))
+	for _, rec := range fs.recs {
+		r := *rec
+		r.Events = append([]Event(nil), rec.Events...)
+		out = append(out, r)
+	}
+	slices.SortFunc(out, func(a, b JobRecord) int { return a.Seq - b.Seq })
+	return out, nil
+}
+
+// Close compacts once more (so a clean shutdown restarts from a pure
+// snapshot) and closes the log.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
+	err := fs.compactLocked()
+	if cerr := fs.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// maybeCompactLocked compacts when the live log outgrew the threshold.
+func (fs *FileStore) maybeCompactLocked() {
+	if fs.logBytes > fs.opts.CompactBytes {
+		if err := fs.compactLocked(); err != nil {
+			obsStoreErrors.Inc()
+		}
+	}
+}
+
+// compactLocked folds the log into a fresh snapshot and truncates it:
+// apply the shared eviction policy to the mirror, write every
+// surviving record to snapshot.tmp with a trailing "end" marker
+// (written last, checked first), fsync, rename over the snapshot, then
+// reset the log. A crash at any point leaves either the old snapshot
+// plus the full log or the new snapshot plus a log whose replay is
+// idempotent against it.
+func (fs *FileStore) compactLocked() error {
+	ordered := make([]JobRecord, 0, len(fs.recs))
+	for _, rec := range fs.recs {
+		ordered = append(ordered, *rec)
+	}
+	slices.SortFunc(ordered, func(a, b JobRecord) int { return a.Seq - b.Seq })
+	entries := make([]storeEntry, len(ordered))
+	for i := range ordered {
+		entries[i] = storeEntry{id: ordered[i].ID, terminal: ordered[i].State().Terminal()}
+	}
+	for _, id := range evictVictims(entries, fs.limit) {
+		delete(fs.recs, id)
+	}
+	var buf []byte
+	n := 0
+	for i := range ordered {
+		rec, ok := fs.recs[ordered[i].ID]
+		if !ok {
+			continue // evicted just above
+		}
+		payload, err := json.Marshal(logRec{Kind: "job", Job: rec})
+		if err != nil {
+			return fmt.Errorf("service: encoding snapshot record: %w", err)
+		}
+		buf = encodeRec(buf, payload)
+		n++
+	}
+	endPayload, err := json.Marshal(logRec{Kind: "end", Count: n})
+	if err != nil {
+		return err
+	}
+	buf = encodeRec(buf, endPayload)
+
+	tmp := filepath.Join(fs.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: creating snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("service: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("service: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(fs.dir, snapshotName)); err != nil {
+		return fmt.Errorf("service: committing snapshot: %w", err)
+	}
+	if err := fs.log.Truncate(0); err != nil {
+		return fmt.Errorf("service: resetting log: %w", err)
+	}
+	if _, err := fs.log.Seek(0, 0); err != nil {
+		return err
+	}
+	fs.logBytes = 0
+	obsStoreCompactions.Inc()
+	return nil
+}

@@ -61,6 +61,10 @@ type Event struct {
 	Estimates []RunningEstimate `json:"estimates,omitempty"`
 	// Result is the final result, on "result" events only.
 	Result *session.Result `json:"result,omitempty"`
+	// Pipeline carries the pipelined access layer's final network
+	// counters on terminal events of Transport-mode jobs, so the event
+	// log alone rebuilds JobStatus.Pipeline after a restart.
+	Pipeline *access.PipelineStats `json:"pipeline,omitempty"`
 }
 
 // ChainProgress is one chain's position within a running job. For a
@@ -122,8 +126,12 @@ type JobStatus struct {
 // by mu; cond is broadcast on every event append and state change.
 type job struct {
 	id   string
+	seq  int // admission sequence number (the ID embeds it)
 	wire session.SpecJSON
 	spec session.Spec
+	// store receives every appended event for durability; set once at
+	// admission/adoption, before the job is shared.
+	store JobStore
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -142,29 +150,42 @@ type job struct {
 	// cancelRun aborts the in-flight run; non-nil exactly while
 	// running.
 	cancelRun context.CancelCauseFunc
+	// recovered marks a job rehydrated from the durable store; resume
+	// holds its last persisted checkpoint (nil = start from scratch).
+	// A recovered job re-enters the queue in the running state, which
+	// runJob otherwise rejects.
+	recovered bool
+	resume    *session.Checkpoint
 }
 
 // newJob returns a queued job whose event log already carries the
 // "queued" state event, so subscribers always see the full lifecycle.
-func newJob(id string, wire session.SpecJSON, spec session.Spec) *job {
-	j := &job{id: id, wire: wire, spec: spec, state: StateQueued, submittedAt: time.Now()}
+func newJob(seq int, id string, wire session.SpecJSON, spec session.Spec) *job {
+	j := &job{id: id, seq: seq, wire: wire, spec: spec, state: StateQueued, submittedAt: time.Now()}
 	j.cond = sync.NewCond(&j.mu)
 	j.events = []Event{{Seq: 1, Job: id, Type: "state", State: StateQueued}}
 	return j
 }
 
-// appendLocked appends ev with the next sequence number and wakes
-// waiters. Callers hold j.mu.
+// appendLocked appends ev with the next sequence number, persists it
+// and wakes waiters. Callers hold j.mu; the store's record methods are
+// safe to call under it (store mutexes are leaves of the lock order).
 func (j *job) appendLocked(ev Event) {
 	ev.Seq = len(j.events) + 1
 	ev.Job = j.id
 	ev.State = j.state
 	j.events = append(j.events, ev)
+	if j.store != nil {
+		// Write failures are counted by the store (obsStoreErrors); the
+		// in-memory event stream stays authoritative for live consumers.
+		_ = j.store.RecordEvent(j.id, ev)
+	}
 	j.cond.Broadcast()
 }
 
 // setStateLocked transitions the job and logs the change. Callers hold
-// j.mu.
+// j.mu. Terminal events carry the pipelined network counters when the
+// run produced them, so the durable log rebuilds JobStatus.Pipeline.
 func (j *job) setStateLocked(s State, errMsg string) {
 	j.state = s
 	j.errMsg = errMsg
@@ -172,6 +193,9 @@ func (j *job) setStateLocked(s State, errMsg string) {
 	if s == StateDone {
 		ev.Type = "result"
 		ev.Result = j.result
+	}
+	if s.Terminal() {
+		ev.Pipeline = j.pipeline
 	}
 	j.appendLocked(ev)
 }

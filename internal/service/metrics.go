@@ -31,6 +31,32 @@ var (
 		"Time from admission to pickup by a worker.")
 	obsJobRun = obs.Default.Histogram("histwalk_job_run_seconds",
 		"Time from pickup to the terminal transition.")
+
+	// Durability instrumentation (FileStore + recovery).
+	obsJobsRecovered = obs.Default.Counter("histwalk_jobs_recovered_total",
+		"Jobs rehydrated from the durable store at boot.")
+	obsJobsResumed = obs.Default.Counter("histwalk_jobs_resumed_total",
+		"Recovered running jobs resumed from a chain checkpoint.")
+	obsResumeReplays = obs.Default.Counter("histwalk_resume_replays_total",
+		"Checkpoint replays performed when resuming recovered jobs.")
+	obsResumeFallbacks = obs.Default.Counter("histwalk_resume_fallbacks_total",
+		"Recovered jobs whose checkpoint failed verification and were rerun from scratch.")
+	obsCheckpointWrites = obs.Default.Counter("histwalk_checkpoint_writes_total",
+		"Chain checkpoints persisted to the job store.")
+	obsStoreCompactions = obs.Default.Counter("histwalk_store_compactions_total",
+		"Log compactions (snapshot + truncate) of the file job store.")
+	obsStoreTruncations = obs.Default.Counter("histwalk_store_truncations_total",
+		"Corrupt log tails truncated while opening the file job store.")
+	obsStoreErrors = obs.Default.Counter("histwalk_store_errors_total",
+		"Write failures against the durable job store.")
+	obsCheckpointWrite = obs.Default.Histogram("histwalk_checkpoint_write_seconds",
+		"Latency of persisting one chain checkpoint.")
+	obsStoreAppend = obs.Default.Histogram("histwalk_store_append_seconds",
+		"Latency of appending one event record to the job log.")
+	obsRecovery = obs.Default.Histogram("histwalk_recovery_seconds",
+		"Time to open the store and rehydrate all jobs at boot.")
+	obsResumeReplay = obs.Default.Histogram("histwalk_resume_replay_seconds",
+		"Time to replay a chain checkpoint when resuming a recovered job.")
 )
 
 // noteEvent counts one emitted event on both ledgers (the manager's

@@ -84,6 +84,15 @@ type Options struct {
 	// of Budget/ProgressTicks. The event schedule depends only on the
 	// spec, never on scheduling.
 	ProgressTicks int
+	// Store is the job store (nil = a fresh MemStore). Pass a FileStore
+	// for durability; OpenManager additionally rehydrates its records.
+	// The Manager owns the store from then on and closes it on
+	// Shutdown.
+	Store JobStore
+	// CheckpointEvery is how many progress emissions elapse between
+	// chain-checkpoint writes to the store (0 = 4). Lower means less
+	// replay after a crash, at more write amplification.
+	CheckpointEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +108,12 @@ func (o Options) withDefaults() Options {
 	if o.ProgressTicks <= 0 {
 		o.ProgressTicks = 64
 	}
+	if o.Store == nil {
+		o.Store = NewMemStore()
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 4
+	}
 	return o
 }
 
@@ -112,6 +127,8 @@ type Metrics struct {
 	Cancelled int `json:"cancelled"`
 	// Evicted counts terminal jobs dropped by store eviction.
 	Evicted int `json:"evicted"`
+	// Recovered counts jobs rehydrated from the durable store at boot.
+	Recovered int `json:"recovered,omitempty"`
 	// Queued and Running count live jobs at snapshot time.
 	Queued  int `json:"queued"`
 	Running int `json:"running"`
@@ -140,12 +157,14 @@ type Manager struct {
 
 	events atomic.Int64 // events emitted across all jobs
 
+	// store is the job catalog + durability layer; catalog mutations
+	// happen under mu, reads may bypass it (the store locks itself).
+	store JobStore
+
 	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []*job // submission order, for List and eviction
-	seq      int    // admission sequence, part of the job ID
+	seq      int // admission sequence, part of the job ID
 	draining bool
-	counts   struct{ done, failed, cancelled, evicted, submitted int }
+	counts   struct{ done, failed, cancelled, evicted, submitted, recovered int }
 
 	// holdForTest, when non-nil, may return a channel for a job ID; the
 	// worker then parks that job — already in the running state —
@@ -157,16 +176,82 @@ type Manager struct {
 
 // NewManager starts a Manager: its worker pool — MaxConcurrent
 // queue-draining loops submitted to one engine.Engine — runs until
-// Shutdown.
+// Shutdown. It is OpenManager without the recovery summary (records
+// already in Options.Store are still rehydrated); it panics if the
+// store's recovery fails, which the built-in stores never do.
 func NewManager(opts Options) *Manager {
+	m, _, err := OpenManager(opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Recovery summarizes what OpenManager rehydrated from a durable
+// store.
+type Recovery struct {
+	// Terminal counts finished jobs reloaded as queryable history.
+	Terminal int `json:"terminal"`
+	// Requeued counts queued jobs re-admitted in original order.
+	Requeued int `json:"requeued"`
+	// Resumed counts running jobs re-admitted with a chain checkpoint
+	// to resume from.
+	Resumed int `json:"resumed"`
+	// Restarted counts running jobs re-admitted without a checkpoint
+	// (they rerun from scratch — same Result either way).
+	Restarted int `json:"restarted"`
+	// Failed counts records that could not be rehydrated into runnable
+	// jobs (e.g. their dataset no longer resolves); they reload in the
+	// failed state with the reason attached.
+	Failed int `json:"failed"`
+	// Elapsed is the boot-recovery wall time.
+	Elapsed time.Duration `json:"elapsed"`
+}
+
+// OpenManager starts a Manager over opts.Store, first rehydrating
+// every job the store recovered: terminal jobs reload as queryable
+// history, queued jobs re-enter the queue in original admission order,
+// and running jobs re-enter with their last checkpoint to resume from
+// mid-walk. The queue is sized to hold every recovered live job even
+// when that exceeds QueueDepth, so recovery never drops work.
+func OpenManager(opts Options) (*Manager, *Recovery, error) {
 	opts = opts.withDefaults()
+	t0 := time.Now()
+	records, err := opts.Store.Recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	live := 0
+	for i := range records {
+		if !records[i].State().Terminal() {
+			live++
+		}
+	}
+	depth := opts.QueueDepth
+	if live > depth {
+		depth = live
+	}
 	m := &Manager{
 		opts:  opts,
-		queue: make(chan *job, opts.QueueDepth),
+		store: opts.Store,
+		queue: make(chan *job, depth),
 		done:  make(chan struct{}),
-		jobs:  make(map[string]*job),
 	}
 	m.poolCtx, m.poolKill = context.WithCancelCause(context.Background())
+	rec := &Recovery{}
+	for i := range records {
+		m.rehydrate(&records[i], rec)
+	}
+	if n := rec.Terminal + rec.Requeued + rec.Resumed + rec.Restarted + rec.Failed; n > 0 {
+		m.counts.recovered = n
+		m.store.Evict(opts.StoreLimit)
+		traceJob("manager.recovered", "", obs.F{
+			"terminal": rec.Terminal, "requeued": rec.Requeued,
+			"resumed": rec.Resumed, "restarted": rec.Restarted, "failed": rec.Failed,
+		})
+	}
+	rec.Elapsed = time.Since(t0)
+	obsRecovery.Since(t0)
 	eng := engine.New(engine.Options{Workers: opts.MaxConcurrent})
 	go func() {
 		defer close(m.done)
@@ -181,7 +266,92 @@ func NewManager(opts Options) *Manager {
 			return nil
 		})
 	}()
-	return m
+	return m, rec, nil
+}
+
+// rehydrate rebuilds one recovered record into a catalog job and, for
+// live records, re-enqueues it. Runs before the worker pool starts, so
+// no locking discipline applies yet.
+func (m *Manager) rehydrate(r *JobRecord, rec *Recovery) {
+	j := jobFromRecord(r)
+	j.store = m.store
+	if j.seq > m.seq {
+		m.seq = j.seq
+	}
+	state := j.state
+	if !state.Terminal() {
+		spec, err := r.Spec.Spec()
+		if err != nil {
+			// The spec no longer resolves (dataset gone, walker renamed):
+			// surface the job as failed rather than dropping its history.
+			j.setStateLocked(StateFailed, "recovery: "+err.Error())
+			m.events.Add(1)
+			m.store.Adopt(j)
+			rec.Failed++
+			obsJobsRecovered.Inc()
+			return
+		}
+		j.spec = spec
+	}
+	m.store.Adopt(j)
+	obsJobsRecovered.Inc()
+	switch {
+	case state.Terminal():
+		rec.Terminal++
+	case state == StateQueued:
+		rec.Requeued++
+		obsJobsQueued.Add(1)
+		m.queue <- j
+	default: // running
+		j.recovered = true
+		if j.resume != nil {
+			rec.Resumed++
+		} else {
+			rec.Restarted++
+		}
+		obsJobsRunning.Add(1)
+		m.queue <- j
+	}
+}
+
+// jobFromRecord folds a durable record's event log back into the
+// in-memory job shape: state, error, result, per-chain progress and
+// pipeline counters are all derived from the events, which are the
+// single source of truth.
+func jobFromRecord(r *JobRecord) *job {
+	j := &job{
+		id:          r.ID,
+		seq:         r.Seq,
+		wire:        r.Spec,
+		state:       StateQueued,
+		events:      append([]Event(nil), r.Events...),
+		submittedAt: time.Now(),
+		resume:      r.Checkpoint,
+	}
+	j.cond = sync.NewCond(&j.mu)
+	for i := range j.events {
+		ev := &j.events[i]
+		if ev.State != "" {
+			j.state = ev.State
+		}
+		switch ev.Type {
+		case "state", "result":
+			j.errMsg = ev.Error
+		}
+		if ev.Result != nil {
+			j.result = ev.Result
+		}
+		if ev.Chain != nil {
+			for len(j.chains) <= ev.Chain.Chain {
+				j.chains = append(j.chains, ChainProgress{Chain: len(j.chains)})
+			}
+			j.chains[ev.Chain.Chain] = *ev.Chain
+		}
+		if ev.Pipeline != nil {
+			j.pipeline = ev.Pipeline
+		}
+	}
+	return j
 }
 
 // jobID derives the deterministic identifier of the seq-th admitted
@@ -211,16 +381,21 @@ func (m *Manager) Submit(wire session.SpecJSON) (JobStatus, error) {
 		m.mu.Unlock()
 		return JobStatus{}, ErrDraining
 	}
-	j := newJob(jobID(m.seq+1, canonical), wire, spec)
-	select {
-	case m.queue <- j:
-	default:
+	// Reserve queue room before the durable Add: sends happen only
+	// under m.mu, so the check cannot be invalidated (receivers only
+	// drain, which never fills the queue).
+	if len(m.queue) == cap(m.queue) {
 		m.mu.Unlock()
 		return JobStatus{}, ErrQueueFull
 	}
+	j := newJob(m.seq+1, jobID(m.seq+1, canonical), wire, spec)
+	j.store = m.store
+	if err := m.store.Add(j); err != nil {
+		m.mu.Unlock()
+		return JobStatus{}, err
+	}
+	m.queue <- j
 	m.seq++
-	m.jobs[j.id] = j
-	m.order = append(m.order, j)
 	m.counts.submitted++
 	m.noteEvent() // the seeded "queued" event
 	obsJobsSubmitted.Inc()
@@ -231,33 +406,20 @@ func (m *Manager) Submit(wire session.SpecJSON) (JobStatus, error) {
 	return j.status(), nil
 }
 
-// evictLocked drops the oldest terminal jobs while the store exceeds
-// StoreLimit. Live (queued/running) jobs are never evicted, so the
+// evictLocked applies the store's eviction policy (evictVictims in
+// store.go): oldest terminal jobs drop while the store exceeds
+// StoreLimit; live (queued/running) jobs are never evicted, so the
 // store may transiently exceed the limit under a burst of live jobs.
 func (m *Manager) evictLocked() {
-	for len(m.order) > m.opts.StoreLimit {
-		evicted := false
-		for i, j := range m.order {
-			if j.stateNow().Terminal() {
-				delete(m.jobs, j.id)
-				m.order = append(m.order[:i], m.order[i+1:]...)
-				m.counts.evicted++
-				obsJobsEvicted.Inc()
-				evicted = true
-				break
-			}
-		}
-		if !evicted {
-			return
-		}
+	for range m.store.Evict(m.opts.StoreLimit) {
+		m.counts.evicted++
+		obsJobsEvicted.Inc()
 	}
 }
 
 // lookup returns the stored job.
 func (m *Manager) lookup(id string) (*job, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	j, ok := m.jobs[id]
+	j, ok := m.store.Get(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
@@ -275,9 +437,7 @@ func (m *Manager) Get(id string) (JobStatus, error) {
 
 // List returns every stored job's status in admission order.
 func (m *Manager) List() []JobStatus {
-	m.mu.Lock()
-	jobs := append([]*job(nil), m.order...)
-	m.mu.Unlock()
+	jobs := m.store.All()
 	out := make([]JobStatus, len(jobs))
 	for i, j := range jobs {
 		out[i] = j.status()
@@ -311,11 +471,19 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	case j.state.Terminal():
 		j.mu.Unlock()
 		return j.status(), ErrJobTerminal
-	case j.state == StateQueued:
+	case j.cancelRun == nil:
+		// Queued — or recovered-running still waiting for a worker
+		// (its cancelRun is only rebuilt at pickup). Either way no run
+		// is in flight: transition directly.
+		wasRunning := j.state == StateRunning
 		j.setStateLocked(StateCancelled, "cancelled while queued")
 		j.mu.Unlock()
 		m.noteEvent()
-		obsJobsQueued.Add(-1)
+		if wasRunning {
+			obsJobsRunning.Add(-1)
+		} else {
+			obsJobsQueued.Add(-1)
+		}
 		m.count(StateCancelled)
 		traceJob("job.cancelled", j.id, obs.F{"reason": "cancelled while queued"})
 	default: // running
@@ -329,19 +497,20 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 // Metrics snapshots the service counters.
 func (m *Manager) Metrics() Metrics {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	met := Metrics{
 		Submitted: m.counts.submitted,
 		Done:      m.counts.done,
 		Failed:    m.counts.failed,
 		Cancelled: m.counts.cancelled,
 		Evicted:   m.counts.evicted,
-		Stored:    len(m.order),
+		Recovered: m.counts.recovered,
+		Stored:    m.store.Len(),
 		Events:    int(m.events.Load()),
 		Workers:   m.opts.MaxConcurrent,
 		Draining:  m.draining,
 	}
-	for _, j := range m.order {
+	m.mu.Unlock()
+	for _, j := range m.store.All() {
 		switch j.stateNow() {
 		case StateQueued:
 			met.Queued++
@@ -378,10 +547,11 @@ func (m *Manager) isDraining() bool {
 
 // Shutdown drains the manager: intake closes (Submit fails with
 // ErrDraining), still-queued jobs transition to cancelled, running
-// jobs finish normally. If ctx expires first, running jobs are aborted
-// with cause ErrShutdown and the ctx cause is returned once the pool
-// has stopped. Shutdown is idempotent; concurrent calls all wait for
-// the drain.
+// jobs finish normally, and the job store is closed (a FileStore
+// compacts to a clean snapshot). If ctx expires first, running jobs
+// are aborted with cause ErrShutdown and the ctx cause is returned
+// once the pool has stopped. Shutdown is idempotent; concurrent calls
+// all wait for the drain.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.draining {
@@ -391,10 +561,11 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Unlock()
 	select {
 	case <-m.done:
-		return nil
+		return m.store.Close()
 	case <-ctx.Done():
 		m.poolKill(ErrShutdown)
 		<-m.done
+		_ = m.store.Close()
 		return context.Cause(ctx)
 	}
 }
@@ -419,29 +590,40 @@ func (m *Manager) finish(j *job, s State, errMsg string, res *session.Result) {
 	traceJob("job."+string(s), j.id, f)
 }
 
-// runJob executes one popped queue entry on the calling worker.
+// runJob executes one popped queue entry on the calling worker. A
+// recovered running job arrives here already in the running state with
+// j.recovered set; it re-enters running (a fresh "running" event marks
+// the resume point in the durable log) and its session replays from
+// j.resume inside drive.
 func (m *Manager) runJob(j *job) {
 	if m.isDraining() {
-		// Graceful drain: jobs still queued when Shutdown began are
-		// cancelled, not run.
+		// Graceful drain: jobs still queued (or recovered but not yet
+		// picked up) when Shutdown began are cancelled, not run.
 		j.mu.Lock()
-		if j.state != StateQueued {
+		recovered := j.recovered && j.state == StateRunning
+		if j.state != StateQueued && !recovered {
 			j.mu.Unlock()
 			return
 		}
 		j.setStateLocked(StateCancelled, "cancelled: manager drained before start")
 		j.mu.Unlock()
 		m.noteEvent()
-		obsJobsQueued.Add(-1)
+		if recovered {
+			obsJobsRunning.Add(-1)
+		} else {
+			obsJobsQueued.Add(-1)
+		}
 		m.count(StateCancelled)
 		traceJob("job.cancelled", j.id, obs.F{"reason": "manager drained before start"})
 		return
 	}
 	j.mu.Lock()
-	if j.state != StateQueued { // cancelled while waiting
+	recovered := j.recovered && j.state == StateRunning
+	if j.state != StateQueued && !recovered { // cancelled while waiting
 		j.mu.Unlock()
 		return
 	}
+	j.recovered = false
 	ctx, cancel := context.WithCancelCause(m.poolCtx)
 	j.cancelRun = cancel
 	j.startedAt = time.Now()
@@ -449,8 +631,10 @@ func (m *Manager) runJob(j *job) {
 	queueWait := j.startedAt.Sub(j.submittedAt)
 	j.mu.Unlock()
 	m.noteEvent()
-	obsJobsQueued.Add(-1)
-	obsJobsRunning.Add(1)
+	if !recovered {
+		obsJobsQueued.Add(-1)
+		obsJobsRunning.Add(1)
+	}
 	obsJobQueueWait.Observe(queueWait)
 	traceJob("job.running", j.id, nil)
 	defer cancel(nil)
@@ -492,6 +676,10 @@ func (m *Manager) runJob(j *job) {
 // chains within a job; that is also why SpecJSON carries no Workers
 // field.
 func (m *Manager) drive(ctx context.Context, j *job) (*session.Result, error) {
+	j.mu.Lock()
+	resume := j.resume
+	prior := append([]ChainProgress(nil), j.chains...)
+	j.mu.Unlock()
 	sess, err := session.NewSession(j.spec)
 	if err != nil {
 		return nil, err
@@ -506,6 +694,19 @@ func (m *Manager) drive(ctx context.Context, j *job) (*session.Result, error) {
 			j.mu.Unlock()
 		}
 	}()
+	if resume != nil {
+		s2, err := m.replay(ctx, j, sess, resume)
+		if err != nil {
+			return nil, err
+		}
+		sess = s2
+		// A failed verification cleared j.resume (from-scratch rerun);
+		// re-read so the emission schedule below matches what actually
+		// happened.
+		j.mu.Lock()
+		resume = j.resume
+		j.mu.Unlock()
+	}
 	chains := j.spec.Chains
 	if chains == 0 {
 		chains = 1
@@ -520,6 +721,27 @@ func (m *Manager) drive(ctx context.Context, j *job) (*session.Result, error) {
 		next[i] = stride
 		track[i].Chain = i
 	}
+	if resume != nil {
+		// Rebuild the emission schedule as an uninterrupted run would
+		// have it at this point. next[i] is always the smallest stride
+		// multiple strictly above the chain's spend — but events already
+		// emitted before the crash (the store replayed them into
+		// j.chains) may be ahead of the checkpoint; starting from the
+		// larger of the two keeps the durable event stream duplicate-free
+		// and per-chain monotonic across the restart.
+		for i, c := range resume.Chains {
+			if i >= chains {
+				break
+			}
+			track[i] = ChainProgress{Chain: i, Steps: c.Steps, Spent: c.Spent, Samples: c.Samples}
+			spent := c.Spent
+			if i < len(prior) && prior[i].Spent > spent {
+				spent = prior[i].Spent
+			}
+			next[i] = stride * (spent/stride + 1)
+		}
+	}
+	sinceCheckpoint := 0
 	for {
 		u, ok, err := sess.NextContext(ctx)
 		if err != nil {
@@ -539,6 +761,10 @@ func (m *Manager) drive(ctx context.Context, j *job) (*session.Result, error) {
 				next[u.Chain] += stride
 			}
 			m.emitProgress(j, *cp, runningEstimates(sess))
+			if sinceCheckpoint++; sinceCheckpoint >= m.opts.CheckpointEvery {
+				sinceCheckpoint = 0
+				m.checkpoint(j, sess)
+			}
 		}
 	}
 	// Final per-chain snapshots, in chain order, with the completed
@@ -553,6 +779,48 @@ func (m *Manager) drive(ctx context.Context, j *job) (*session.Result, error) {
 		m.emitProgress(j, track[i], e)
 	}
 	return sess.Result()
+}
+
+// replay advances a fresh session to the job's recovered checkpoint.
+// A checkpoint that fails verification (corrupt record, incompatible
+// build) downgrades to a from-scratch rerun on a new session — slower,
+// but the Result is bit-identical either way, which is the contract
+// that matters.
+func (m *Manager) replay(ctx context.Context, j *job, sess *session.Session, cp *session.Checkpoint) (*session.Session, error) {
+	t0 := time.Now()
+	err := sess.ResumeFrom(ctx, cp)
+	obsResumeReplays.Inc()
+	obsResumeReplay.Since(t0)
+	if err == nil {
+		obsJobsResumed.Inc()
+		traceJob("job.resumed", j.id, obs.F{"chains": len(cp.Chains)})
+		return sess, nil
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, err
+	}
+	obsResumeFallbacks.Inc()
+	traceJob("job.resume_fallback", j.id, obs.F{"err": err.Error()})
+	sess.Close()
+	fresh, ferr := session.NewSession(j.spec)
+	if ferr != nil {
+		return nil, ferr
+	}
+	// The stale checkpoint must not shape the emission schedule: the
+	// rerun emits from the start, like any first run.
+	j.mu.Lock()
+	j.resume = nil
+	j.mu.Unlock()
+	return fresh, nil
+}
+
+// checkpoint persists the session's current chain progress; called
+// between transitions on the driving goroutine, which is the
+// concurrency contract session.Checkpoint requires.
+func (m *Manager) checkpoint(j *job, sess *session.Session) {
+	// Write failures are counted by the store; the run continues — a
+	// lost checkpoint only costs replay distance after a crash.
+	_ = j.store.RecordCheckpoint(j.id, sess.Checkpoint())
 }
 
 // runningEstimates merges the session's current samples into pooled

@@ -1,0 +1,138 @@
+package service
+
+// Satellite of the durability work: an SSE consumer that loses its
+// connection when the daemon dies can reconnect to the restarted
+// process with Last-Event-ID and miss nothing — the manager persists
+// every event before broadcasting it, so anything a client ever saw is
+// in the log, and everything after it replays from there.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readSSEUntil consumes messages from an open event stream until max
+// events arrive (max <= 0: until the stream ends), returning the
+// decoded events. It verifies each message's SSE id matches the
+// event's Seq. Unlike readSSE (http_test.go) it can stop mid-stream,
+// which is how the test loses its connection at a chosen point.
+func readSSEUntil(t *testing.T, body *bufio.Reader, max int) []Event {
+	t.Helper()
+	var out []Event
+	id := -1
+	var data string
+	for {
+		line, err := body.ReadString('\n')
+		if err != nil {
+			if max <= 0 {
+				return out // stream ended after the terminal event
+			}
+			t.Fatalf("SSE stream ended after %d events, want %d: %v", len(out), max, err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			id, err = strconv.Atoi(line[4:])
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+		case strings.HasPrefix(line, "data: "):
+			data = line[6:]
+		case line == "":
+			if data == "" {
+				continue
+			}
+			var ev Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("bad SSE data %q: %v", data, err)
+			}
+			if ev.Seq != id {
+				t.Fatalf("SSE id %d != event seq %d", id, ev.Seq)
+			}
+			out = append(out, ev)
+			id, data = -1, ""
+			if max > 0 && len(out) == max {
+				return out
+			}
+		}
+	}
+}
+
+func openSSE(t *testing.T, ctx context.Context, url, lastEventID string) (*http.Response, *bufio.Reader) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("SSE connect: %s", resp.Status)
+	}
+	return resp, bufio.NewReader(resp.Body)
+}
+
+func TestSSEResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	m1, _ := openFileManager(t, dir, Options{MaxConcurrent: 1, CheckpointEvery: 1})
+	srv1 := httptest.NewServer(NewHandler(m1))
+	st, err := m1.Submit(longWire(811))
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := srv1.URL + "/v1/jobs/" + st.ID + "/events"
+
+	// First connection: consume a few events mid-run, then lose it.
+	ctx1, cancel1 := context.WithTimeout(context.Background(), 60*time.Second)
+	resp1, body1 := openSSE(t, ctx1, url, "")
+	seen := readSSEUntil(t, body1, 4)
+	cancel1()
+	resp1.Body.Close()
+
+	// The daemon dies. Everything the client saw was durable before it
+	// was broadcast, so the crash image must contain at least those.
+	img := copyDir(t, dir)
+	srv1.Close()
+	shutdown(t, m1)
+
+	m2, _ := openFileManager(t, img, Options{MaxConcurrent: 1, CheckpointEvery: 1})
+	defer shutdown(t, m2)
+	srv2 := httptest.NewServer(NewHandler(m2))
+	defer srv2.Close()
+
+	// Reconnect to the restarted daemon with Last-Event-ID and read to
+	// the end of the stream.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel2()
+	last := seen[len(seen)-1].Seq
+	resp2, body2 := openSSE(t, ctx2, srv2.URL+"/v1/jobs/"+st.ID+"/events", strconv.Itoa(last))
+	rest := readSSEUntil(t, body2, 0)
+	resp2.Body.Close()
+
+	if len(rest) == 0 {
+		t.Fatal("no events after reconnect")
+	}
+	// The combined stream is gapless and duplicate-free: seqs 1..N.
+	all := append(append([]Event(nil), seen...), rest...)
+	for i, ev := range all {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d: the resumed stream has a gap or duplicate", i, ev.Seq)
+		}
+	}
+	fin := all[len(all)-1]
+	if fin.Type != "result" || fin.State != StateDone || fin.Result == nil {
+		t.Fatalf("final event: type=%s state=%s, want a done result", fin.Type, fin.State)
+	}
+}

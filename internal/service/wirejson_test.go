@@ -1,0 +1,125 @@
+package service
+
+// Satellite audit of the wire types: JobStatus and Event must survive
+// marshal → unmarshal → marshal byte-identically in every job state
+// (encoding/json rejects NaN/Inf outright, so a successful marshal is
+// also the non-finite audit — R̂ is the one value that can diverge and
+// both emission paths zero it first), and the Pipeline field must
+// appear exactly when a pipelined job reached a terminal state.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"histwalk/internal/session"
+)
+
+// roundTrip marshals v, decodes into a fresh value of the same type and
+// re-marshals, requiring byte equality.
+func roundTrip[T any](t *testing.T, label string, v T) []byte {
+	t.Helper()
+	a, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", label, err)
+	}
+	var back T
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatalf("%s: unmarshal: %v", label, err)
+	}
+	b, err := json.Marshal(back)
+	if err != nil {
+		t.Fatalf("%s: re-marshal: %v", label, err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("%s: not a JSON fixed point:\n%s\nvs\n%s", label, a, b)
+	}
+	return a
+}
+
+// TestWireJSONRoundTrip drives one job into each lifecycle state —
+// done (pipelined, with estimators so events carry running estimates),
+// failed, cancelled, running, queued — and round-trips every JobStatus
+// and every logged Event.
+func TestWireJSONRoundTrip(t *testing.T) {
+	m := NewManager(Options{MaxConcurrent: 1})
+
+	doneW := wire(21)
+	doneW.Estimators = []session.EstimatorJSON{{Kind: "avg-degree"}}
+	doneW.Transport = &session.TransportJSON{Kind: "sim", Window: 4}
+	doneJob, err := m.Submit(doneW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := await(t, m, doneJob.ID); st.State != StateDone {
+		t.Fatalf("pipelined job: %s (%s)", st.State, st.Error)
+	}
+
+	failedW := wire(22)
+	failedW.Estimators = []session.EstimatorJSON{{Kind: "mean", Attr: "no_such_attr"}}
+	failedJob, err := m.Submit(failedW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := await(t, m, failedJob.ID); st.State != StateFailed {
+		t.Fatalf("failing job: %s", st.State)
+	}
+
+	// Hold the worker so the next submissions pin running and queued;
+	// cancel a queued one for the cancelled state.
+	release := installHold(m)
+	runningJob, err := m.Submit(wire(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, runningJob.ID, StateRunning)
+	queuedJob, err := m.Submit(wire(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelJob, err := m.Submit(wire(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(cancelJob.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := map[string]string{
+		"done":      doneJob.ID,
+		"failed":    failedJob.ID,
+		"cancelled": cancelJob.ID,
+		"running":   runningJob.ID,
+		"queued":    queuedJob.ID,
+	}
+	for label, id := range jobs {
+		st, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := roundTrip(t, label+" status", st)
+		// Pipeline appears exactly on terminal pipelined jobs.
+		if has := bytes.Contains(enc, []byte(`"pipeline"`)); has != (label == "done") {
+			t.Fatalf("%s status pipeline presence = %v: %s", label, has, enc)
+		}
+		evs, _, err := m.WaitEvents(context.Background(), id, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(evs) == 0 {
+			t.Fatalf("%s job has no events", label)
+		}
+		for _, ev := range evs {
+			enc := roundTrip(t, label+" event", ev)
+			if has := bytes.Contains(enc, []byte(`"pipeline"`)); has != (label == "done" && ev.State.Terminal()) {
+				t.Fatalf("%s event seq %d pipeline presence = %v: %s", label, ev.Seq, has, enc)
+			}
+		}
+		// The wire spec itself must also be a fixed point — it is what
+		// the durable log replays at recovery.
+		roundTrip(t, label+" spec", st.Spec)
+	}
+	release()
+	shutdown(t, m)
+}

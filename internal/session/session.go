@@ -933,18 +933,62 @@ type chainRun struct {
 	values  [][]float64 // [estimator][sample] raw measured values
 
 	scratch []float64 // per-step measure buffer, reused across steps
+
+	// rngDraws counts every draw the chain's RNG has served (the start
+	// draw included), via the counting source wrapped around it in
+	// newChain. A Checkpoint records it as the RNG stream position; a
+	// resumed chain must land on the same count, which pins that replay
+	// reproduced the exact draw sequence.
+	rngDraws *uint64
+}
+
+// countingSource wraps a chain's rand.Source64, counting draws so a
+// checkpoint can record (and resume can verify) the RNG stream
+// position. It forwards both Int63 and Uint64 to the wrapped source,
+// so the value stream is bit-identical to the unwrapped source —
+// *rand.Rand takes the same Source64 fast path either way.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) { s.src.Seed(seed) }
+
+// chainRNG builds chain c's seeded RNG with draw counting. math/rand's
+// NewSource implements Source64; the fallback path (a foreign Source
+// that does not) preserves rand.Rand's non-Source64 behavior by not
+// wrapping at all — counting is then unavailable and draws stays nil,
+// which Checkpoint reports as position 0 on both sides of a resume.
+func chainRNG(seed int64) (*rand.Rand, *uint64) {
+	base := rand.NewSource(seed)
+	if s64, ok := base.(rand.Source64); ok {
+		cs := &countingSource{src: s64}
+		return rand.New(cs), &cs.n
+	}
+	return rand.New(base), nil
 }
 
 // newChain derives chain c's seed, builds its private client (Graph
 // mode) and positions its walker.
 func newChain(sp *Spec, c int) (*chainRun, error) {
 	seed := engine.TrialSeed(sp.Seed, sp.Stream, c)
-	rng := rand.New(rand.NewSource(seed))
+	rng, draws := chainRNG(seed)
 	cr := &chainRun{
-		idx:     c,
-		seed:    seed,
-		values:  make([][]float64, len(sp.Estimators)),
-		scratch: make([]float64, len(sp.Estimators)),
+		idx:      c,
+		seed:     seed,
+		values:   make([][]float64, len(sp.Estimators)),
+		scratch:  make([]float64, len(sp.Estimators)),
+		rngDraws: draws,
 	}
 	switch {
 	case sp.pipe != nil:

@@ -16,7 +16,7 @@ import (
 	"histwalk/internal/graph"
 )
 
-func testGraph(t *testing.T) *graph.Graph {
+func testGraph(t testing.TB) *graph.Graph {
 	t.Helper()
 	rng := rand.New(rand.NewSource(31))
 	g := graph.PlantedPartition([]int{40, 40, 40}, 0.35, 0.02, rng).LargestComponent()

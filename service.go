@@ -39,6 +39,17 @@ type (
 	// Health is the /healthz payload: liveness plus build identity
 	// (Go version, VCS revision when stamped).
 	Health = service.Health
+	// JobStore is the Manager's pluggable job catalog + durability
+	// layer; choose an implementation via ManagerOptions.Store.
+	JobStore = service.JobStore
+	// JobRecord is the durable form of one job, as recovered from a
+	// JobStore at boot.
+	JobRecord = service.JobRecord
+	// FileStoreOptions configures a durable file-backed job store.
+	FileStoreOptions = service.FileStoreOptions
+	// ServiceRecovery summarizes what OpenManager rehydrated from a
+	// durable store at boot.
+	ServiceRecovery = service.Recovery
 	// SpecJSON is the serializable (wire) description of a sampling
 	// run: datasets, walkers, estimators and policies chosen by name.
 	SpecJSON = session.SpecJSON
@@ -79,6 +90,26 @@ var (
 // NewManager starts a sampling-job Manager; stop it with
 // Manager.Shutdown.
 func NewManager(opts ManagerOptions) *Manager { return service.NewManager(opts) }
+
+// OpenManager starts a Manager over opts.Store, rehydrating every
+// recovered job: terminal jobs reload as queryable history, queued
+// jobs re-admit in original order, running jobs resume from their
+// last chain checkpoint.
+func OpenManager(opts ManagerOptions) (*Manager, *ServiceRecovery, error) {
+	return service.OpenManager(opts)
+}
+
+// NewMemJobStore returns the in-process job store (no durability) —
+// the default when ManagerOptions.Store is nil.
+func NewMemJobStore() JobStore { return service.NewMemStore() }
+
+// OpenFileJobStore opens (or creates) a durable job store in dir: an
+// append-only, CRC-framed JSONL event log with periodic snapshot
+// compaction. Jobs recorded there survive a kill -9 and are
+// rehydrated by OpenManager.
+func OpenFileJobStore(dir string, opts FileStoreOptions) (JobStore, error) {
+	return service.OpenFileStore(dir, opts)
+}
 
 // NewServiceHandler returns the HTTP JSON API over m (the API
 // cmd/histwalkd serves): POST/GET/DELETE /v1/jobs, SSE progress
